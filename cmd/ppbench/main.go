@@ -1,0 +1,51 @@
+// Command ppbench regenerates the paper's evaluation tables and figures
+// (§8 and Appendix B) over the synthetic datasets and prints them.
+//
+// Usage:
+//
+//	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
+//
+// The experiment ids match DESIGN.md's per-experiment index. Output of a
+// full run is recorded in EXPERIMENTS.md next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"probpred/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	quick := flag.Bool("quick", false, "use the reduced dataset sizes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := bench.Order
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		fmt.Printf("(regenerated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,148 @@
+// Command ppquery runs an ad-hoc predicate over the synthetic traffic
+// surveillance stream with and without probabilistic predicates and reports
+// cluster time, latency, speed-up and accuracy — a small interactive version
+// of the §8.2 experiments.
+//
+// Usage:
+//
+//	ppquery [-pred "t=SUV & c=red"] [-accuracy 0.95] [-rows 20000] [-seed N] [-explain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probpred/internal/bench"
+	"probpred/internal/engine"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+)
+
+func main() {
+	predStr := flag.String("pred", "t=SUV & c=red", "query predicate over columns t,c,s,i,o")
+	accuracy := flag.Float64("accuracy", 0.95, "query-wide accuracy target in (0,1]")
+	rows := flag.Int("rows", 20000, "test stream size")
+	seed := flag.Uint64("seed", 42, "stream + training seed")
+	explain := flag.Bool("explain", false, "print candidate PP expressions and the plan profile")
+	corpusFile := flag.String("corpus", "", "load the PP corpus from this file if it exists; otherwise train and save it")
+	flag.Parse()
+
+	if err := run(*predStr, *accuracy, *rows, *seed, *explain, *corpusFile); err != nil {
+		fmt.Fprintln(os.Stderr, "ppquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, corpusFile string) error {
+	pred, err := query.Parse(predStr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicate: %s  (accuracy target %.2f)\n", pred, accuracy)
+	cfg := bench.Config{Seed: seed, Quick: rows <= 5000}
+	h, err := loadOrTrainHarness(cfg, corpusFile)
+	if err != nil {
+		return err
+	}
+	if rows < len(h.TestBlobs) {
+		h.TestBlobs = h.TestBlobs[:rows]
+	}
+	fmt.Printf("corpus: %d PPs trained in %s; stream: %d rows\n\n",
+		h.Opt.Corpus().Size(), h.CorpusTrainTime.Round(1e6), len(h.TestBlobs))
+
+	nopPlan, u, err := h.NoPPlan(pred)
+	if err != nil {
+		return err
+	}
+	nop, err := engine.Run(nopPlan, engine.Config{})
+	if err != nil {
+		return err
+	}
+	ppPlan, dec, err := h.PPPlan(pred, accuracy)
+	if err != nil {
+		return err
+	}
+	pp, err := engine.Run(ppPlan, engine.Config{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("optimizer: %d candidate PP expressions, UDF cost u=%.0f vms/row\n", dec.NumCandidates, u)
+	if dec.Inject {
+		fmt.Printf("picked:    %s\n", dec.Expr)
+		fmt.Printf("           est. reduction %.2f, PP cost %.2f vms/row, allocations: %s\n",
+			dec.Reduction, dec.Cost, dec.LeafAccuracies)
+	} else {
+		fmt.Println("picked:    none — running the query as-is is cheapest")
+	}
+	if explain {
+		for _, alt := range dec.Alternatives {
+			fmt.Printf("  candidate: %-60s est r=%.2f plan=%.1f\n", alt.Expr, alt.Reduction, alt.PlanCost)
+		}
+	}
+
+	kept := map[int]bool{}
+	for _, r := range pp.Rows {
+		kept[r.Blob.ID] = true
+	}
+	retained := 0
+	for _, r := range nop.Rows {
+		if kept[r.Blob.ID] {
+			retained++
+		}
+	}
+	acc := 1.0
+	if len(nop.Rows) > 0 {
+		acc = float64(retained) / float64(len(nop.Rows))
+	}
+	if explain {
+		fmt.Println()
+		fmt.Println("PP plan profile:")
+		fmt.Println(pp.Summary(ppPlan))
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %14s %14s %8s\n", "plan", "cluster (vms)", "latency (vms)", "rows")
+	fmt.Printf("%-8s %14.0f %14.0f %8d\n", "NoP", nop.ClusterTime, nop.Latency, len(nop.Rows))
+	fmt.Printf("%-8s %14.0f %14.0f %8d\n", "PP", pp.ClusterTime, pp.Latency, len(pp.Rows))
+	fmt.Printf("\nspeed-up: %.2fx cluster time, %.2fx latency; accuracy: %.3f\n",
+		nop.ClusterTime/pp.ClusterTime, nop.Latency/pp.Latency, acc)
+	return nil
+}
+
+// loadOrTrainHarness builds the harness, reusing a previously saved corpus
+// when corpusFile exists (train once, query forever).
+func loadOrTrainHarness(cfg bench.Config, corpusFile string) (*bench.TrafficHarness, error) {
+	if corpusFile != "" {
+		if f, err := os.Open(corpusFile); err == nil {
+			defer f.Close()
+			corpus, err := optimizer.LoadCorpus(f)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("loaded %d-PP corpus from %s\n", corpus.Size(), corpusFile)
+			h, err := bench.NewTrafficHarnessWithCorpus(cfg, corpus)
+			if err != nil {
+				return nil, err
+			}
+			return h, nil
+		}
+	}
+	fmt.Println("training 32-PP corpus on the stream prefix...")
+	h, err := bench.NewTrafficHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if corpusFile != "" {
+		f, err := os.Create(corpusFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := h.Opt.Corpus().Save(f); err != nil {
+			return nil, err
+		}
+		fmt.Printf("saved corpus to %s\n", corpusFile)
+	}
+	return h, nil
+}

@@ -1,0 +1,99 @@
+// Package datasets exposes the repository's synthetic dataset generators —
+// the stand-ins for the paper's evaluation datasets (§7) — as public API so
+// examples and downstream users can reproduce the workloads. See DESIGN.md
+// for what each generator substitutes and why the substitution preserves
+// the behaviour that matters to probabilistic predicates.
+package datasets
+
+import (
+	probpred "probpred"
+	"probpred/internal/data"
+	"probpred/internal/udf"
+)
+
+// Categorical is a dataset whose blobs carry category labels; queries
+// retrieve blobs having a given category.
+type Categorical = data.Categorical
+
+// VideoStream is a synthetic fixed-camera surveillance stream.
+type VideoStream = data.VideoStream
+
+// LSHTCConfig, TrafficConfig, UCFConfig and CoralConfig shape the
+// corresponding generators.
+type (
+	LSHTCConfig   = data.LSHTCConfig
+	TrafficConfig = data.TrafficConfig
+	UCFConfig     = data.UCFConfig
+	CoralConfig   = data.CoralConfig
+)
+
+// LSHTC generates the sparse document-classification dataset (LSHTC-like).
+func LSHTC(cfg LSHTCConfig) *Categorical { return data.LSHTC(cfg) }
+
+// COCO generates the dense, non-linearly-separable image dataset
+// (COCO-like).
+func COCO(seed uint64) *Categorical { return data.COCO(seed) }
+
+// ImageNet generates the same classes as COCO under a domain shift
+// (ImageNet-like), for cross-training experiments.
+func ImageNet(seed uint64) *Categorical { return data.ImageNet(seed) }
+
+// SUNAttribute generates the simpler scene-attribute dataset
+// (SUNAttribute-like).
+func SUNAttribute(seed uint64) *Categorical { return data.SUNAttribute(seed) }
+
+// UCF101 generates the multi-modal video-activity dataset (UCF101-like).
+func UCF101(cfg UCFConfig) *Categorical { return data.UCF101(cfg) }
+
+// Traffic generates the DETRAC-like vehicle-detection stream whose blobs
+// carry ground-truth attributes t (type), c (color), s (speed), i/o (route).
+func Traffic(cfg TrafficConfig) []probpred.Blob { return data.Traffic(cfg) }
+
+// Coral and Square generate the Appendix-B surveillance clips.
+func Coral(cfg CoralConfig) *VideoStream  { return data.Coral(cfg) }
+func Square(cfg CoralConfig) *VideoStream { return data.Square(cfg) }
+
+// TrafficSet labels traffic blobs against a predicate over the ground-truth
+// attributes, producing PP training input.
+func TrafficSet(blobs []probpred.Blob, pred probpred.Pred) (probpred.Set, error) {
+	return data.TrafficSet(blobs, pred)
+}
+
+// TrafficDomains returns the finite value domains of the traffic columns,
+// enabling the optimizer's wrangler rewrites.
+func TrafficDomains() map[string][]probpred.Value { return data.TrafficDomains() }
+
+// TrafficLookup adapts a traffic blob's ground truth to predicate
+// evaluation.
+func TrafficLookup(b probpred.Blob) probpred.Lookup { return data.TrafficLookup(b) }
+
+// TrafficPipeline builds the simulated UDF chain (detector plus one
+// attribute classifier per referenced column) a predicate needs; the summed
+// cost of the returned processors is the u that PPs can short-circuit.
+func TrafficPipeline(pred probpred.Pred, seed uint64) ([]probpred.Processor, float64, error) {
+	procs, err := udf.TrafficPipeline(pred, 0, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return procs, udf.PipelineCost(procs), nil
+}
+
+// CategoryUDF returns the simulated classifier UDF emitting the binary
+// column for category cat of a categorical dataset, at the given virtual
+// per-row cost.
+func CategoryUDF(d *Categorical, cat int, costMS float64) probpred.Processor {
+	return &udf.CategoryClassifier{Dataset: d, Cat: cat, CostMS: costMS}
+}
+
+// CategoryColumn names the column CategoryUDF(cat) produces.
+func CategoryColumn(cat int) string { return udf.ColName(cat) }
+
+// FrameDetectorUDF returns the very expensive reference object detector of
+// the video pipelines (zero cost selects the default 500 vms/frame).
+func FrameDetectorUDF(costMS float64) probpred.Processor {
+	return udf.FrameObjectDetector{CostMS: costMS}
+}
+
+// SetFromStream returns a labeled blob set over a video stream's frames
+// ("has object" labels) for PP training.
+func SetFromStream(v *VideoStream) probpred.Set { return v.Set() }

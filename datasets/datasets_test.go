@@ -1,0 +1,110 @@
+package datasets
+
+import (
+	"testing"
+
+	probpred "probpred"
+)
+
+func TestTrafficWorkflowThroughPublicAPI(t *testing.T) {
+	blobs := Traffic(TrafficConfig{Rows: 500, Seed: 1})
+	if len(blobs) != 500 {
+		t.Fatalf("rows = %d", len(blobs))
+	}
+	pred, err := probpred.ParsePredicate("t=SUV & s>50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := TrafficSet(blobs, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Selectivity() <= 0 || set.Selectivity() >= 1 {
+		t.Fatalf("selectivity = %v", set.Selectivity())
+	}
+	procs, u, err := TrafficPipeline(pred, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 3 { // detector + t + s
+		t.Fatalf("procs = %d", len(procs))
+	}
+	if u <= 0 {
+		t.Fatalf("pipeline cost = %v", u)
+	}
+	if len(TrafficDomains()) != 5 {
+		t.Fatalf("domains = %d columns", len(TrafficDomains()))
+	}
+	// Lookup agrees with TrafficSet labels.
+	ok, err := pred.Eval(TrafficLookup(blobs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != set.Labels[0] {
+		t.Fatal("lookup disagrees with labeling")
+	}
+}
+
+func TestCategoricalGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *Categorical
+	}{
+		{"lshtc", LSHTC(LSHTCConfig{Docs: 200, Seed: 2})},
+		{"coco", COCO(2)},
+		{"imagenet", ImageNet(2)},
+		{"sun", SUNAttribute(2)},
+		{"ucf101", UCF101(UCFConfig{Clips: 200, Seed: 2})},
+	}
+	for _, c := range cases {
+		if len(c.d.Blobs) == 0 || c.d.NumCategories() == 0 {
+			t.Fatalf("%s: empty dataset", c.name)
+		}
+		set := c.d.SetFor(0)
+		if set.Len() != len(c.d.Blobs) {
+			t.Fatalf("%s: SetFor size mismatch", c.name)
+		}
+	}
+}
+
+func TestVideoStreamHelpers(t *testing.T) {
+	v := Coral(CoralConfig{Frames: 300, Seed: 3})
+	set := SetFromStream(v)
+	if set.Len() != 300 {
+		t.Fatalf("frames = %d", set.Len())
+	}
+	det := FrameDetectorUDF(0)
+	if det.Cost() != 500 {
+		t.Fatalf("detector cost = %v", det.Cost())
+	}
+	sq := Square(CoralConfig{Frames: 300, Seed: 3})
+	if sq.Name != "square" {
+		t.Fatalf("square name = %q", sq.Name)
+	}
+}
+
+func TestCategoryUDFThroughPublicAPI(t *testing.T) {
+	d := LSHTC(LSHTCConfig{Docs: 200, Seed: 4})
+	u := CategoryUDF(d, 1, 25)
+	if u.Cost() != 25 {
+		t.Fatalf("cost = %v", u.Cost())
+	}
+	pred, err := probpred.ParsePredicate(CategoryColumn(1) + "=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := probpred.BuildPlan(d.Blobs, nil, []probpred.Processor{u}, pred)
+	res, err := probpred.RunPlan(plan, probpred.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, m := range d.Members[1] {
+		if m {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+}

@@ -1,0 +1,108 @@
+package probpred_test
+
+// Runnable godoc examples for the public API. Outputs are deterministic —
+// every random draw flows through the seeded RNG.
+
+import (
+	"fmt"
+
+	probpred "probpred"
+	"probpred/datasets"
+)
+
+// Example demonstrates the core workflow end to end: train a PP for one
+// clause, inspect its parametric accuracy/reduction trade-off, and use it
+// to shortcut an expensive UDF.
+func Example() {
+	// Label blobs for the clause (in a real system, from UDF outputs).
+	rng := probpred.NewRNG(7)
+	var all probpred.Set
+	for i := 0; i < 2000; i++ {
+		x := probpred.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		all.Append(probpred.FromDense(i, x), x[0]+0.5*x[1] > 1.1)
+	}
+	train, val, _ := all.Split(rng, 0.6, 0.2)
+
+	pp, err := probpred.TrainPP("interesting=1", train, val, probpred.TrainConfig{
+		Approach: "Raw+SVM", Seed: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The same trained PP serves any accuracy target (no retraining).
+	fmt.Println("substantial reduction at a=1:", pp.Reduction(1.0) > 0.5)
+	fmt.Println("relaxing accuracy never reduces r:", pp.Reduction(0.9) >= pp.Reduction(1.0))
+	// Output:
+	// substantial reduction at a=1: true
+	// relaxing accuracy never reduces r: true
+}
+
+// ExampleOptimizer_Optimize shows the optimizer assembling a PP combination
+// for a complex predicate no PP was trained for.
+func ExampleOptimizer_Optimize() {
+	blobs := datasets.Traffic(datasets.TrafficConfig{Rows: 3000, Seed: 5})
+	corpus := probpred.NewCorpus()
+	for i, clause := range []string{"t=SUV", "t=van", "c=red"} {
+		pred, _ := probpred.ParsePredicate(clause)
+		set, _ := datasets.TrafficSet(blobs, pred)
+		train, val, _ := set.Split(probpred.NewRNG(uint64(i)+50), 0.8, 0.2)
+		pp, err := probpred.TrainPP(clause, train, val, probpred.TrainConfig{
+			Approach: "Raw+SVM", Seed: uint64(i),
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		corpus.Add(pp)
+	}
+	opt := probpred.NewOptimizer(corpus)
+	// An ad-hoc predicate: never trained, assembled from per-clause PPs.
+	pred, _ := probpred.ParsePredicate("(t=SUV | t=van) & c=red")
+	dec, err := opt.Optimize(pred, probpred.OptimizeOptions{Accuracy: 0.95, UDFCost: 100})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("injected:", dec.Inject)
+	fmt.Println("expression:", dec.Expr)
+	// Output:
+	// injected: true
+	// expression: (PP[t=SUV] | PP[t=van]) & PP[c=red]
+}
+
+// ExampleInferClauses shows batch workload analysis: which simple clauses a
+// historical workload needs PPs for.
+func ExampleInferClauses() {
+	var preds []probpred.Pred
+	for _, q := range []string{"t=SUV & c=red", "t=SUV & s>60", "c=red | c=black"} {
+		p, _ := probpred.ParsePredicate(q)
+		preds = append(preds, p)
+	}
+	freq := probpred.InferClauses(preds, nil)
+	fmt.Println("t=SUV appears in", freq["t=SUV"], "queries")
+	fmt.Println("c=red appears in", freq["c=red"], "queries")
+	// Output:
+	// t=SUV appears in 2 queries
+	// c=red appears in 2 queries
+}
+
+// ExampleSelectTrainingSet shows the budgeted training planner choosing
+// which PPs to train (the greedy approximation of Appendix A.1).
+func ExampleSelectTrainingSet() {
+	candidates := []probpred.TrainingCandidate{
+		{Clause: "t=SUV", TrainCost: 10, Queries: map[int]float64{0: 0.6, 1: 0.6}},
+		{Clause: "c=red", TrainCost: 10, Queries: map[int]float64{2: 0.5}},
+		{Clause: "s>60", TrainCost: 10, Queries: map[int]float64{3: 0.4}},
+	}
+	plan, err := probpred.SelectTrainingSet(candidates, 20)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("train:", plan.Clauses)
+	fmt.Println("queries covered:", plan.Covered)
+	// Output:
+	// train: [c=red t=SUV]
+	// queries covered: 3
+}

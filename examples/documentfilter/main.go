@@ -1,0 +1,82 @@
+// Document filter: Case 1 of §7 — retrieve documents carrying given
+// categories from an LSHTC-like sparse bag-of-words corpus, where category
+// membership is normally computed by an expensive classifier UDF.
+//
+// Model selection (§5.5) automatically lands on feature hashing + linear
+// SVM for this sparse, linearly-separable input, and the trained PP filters
+// most non-matching documents before the classifier runs.
+//
+//	go run ./examples/documentfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	probpred "probpred"
+	"probpred/datasets"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	corpus := datasets.LSHTC(datasets.LSHTCConfig{Docs: 3000, Seed: 21})
+	fmt.Printf("corpus: %d documents, %d categories, vocabulary %d\n\n",
+		len(corpus.Blobs), corpus.NumCategories(), corpus.Blobs[0].Dim())
+
+	const udfCost = 40.0 // virtual ms per document for the real classifier
+	for _, cat := range []int{0, 3, 7} {
+		set := corpus.SetFor(cat)
+		rng := probpred.NewRNG(uint64(cat) + 5)
+		train, val, test := set.Split(rng, 0.6, 0.2)
+
+		// Leave Approach empty: model selection should pick FH+SVM.
+		pp, err := probpred.TrainPP(fmt.Sprintf("category=%d", cat), train, val,
+			probpred.TrainConfig{Seed: uint64(cat)})
+		if err != nil {
+			return err
+		}
+
+		// Run the retrieval with the PP ahead of the classifier UDF.
+		pred, err := probpred.ParsePredicate(
+			fmt.Sprintf("%s=1", datasets.CategoryColumn(cat)))
+		if err != nil {
+			return err
+		}
+		procs := []probpred.Processor{datasets.CategoryUDF(corpus, cat, udfCost)}
+		pick := probpred.NewCorpus()
+		pick.Add(pp)
+		// The PP's clause must match the query predicate for the optimizer,
+		// so register it under the UDF-output clause too.
+		pp.Clause = pred.String()
+		pick.Add(pp)
+		dec, err := probpred.NewOptimizer(pick).Optimize(pred, probpred.OptimizeOptions{
+			Accuracy: 0.95, UDFCost: udfCost,
+		})
+		if err != nil {
+			return err
+		}
+		noPP, err := probpred.RunPlan(probpred.BuildPlan(test.Blobs, nil, procs, pred),
+			probpred.ExecConfig{})
+		if err != nil {
+			return err
+		}
+		withPP, err := probpred.RunPlan(probpred.BuildPlan(test.Blobs, dec, procs, pred),
+			probpred.ExecConfig{})
+		if err != nil {
+			return err
+		}
+		m := probpred.EvaluatePP(pp, test, 0.95)
+		fmt.Printf("category %d (selectivity %.2f): selected approach %s\n",
+			cat, set.Selectivity(), pp.Approach)
+		fmt.Printf("  PP reduction %.2f at accuracy %.3f\n", m.Reduction, m.Accuracy)
+		fmt.Printf("  retrieval: %d/%d documents, cluster time %.0f -> %.0f vms (%.2fx)\n\n",
+			len(withPP.Rows), len(noPP.Rows), noPP.ClusterTime, withPP.ClusterTime,
+			noPP.ClusterTime/withPP.ClusterTime)
+	}
+	return nil
+}

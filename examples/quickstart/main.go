@@ -1,0 +1,68 @@
+// Quickstart: train one probabilistic predicate and use it to shortcut an
+// expensive UDF.
+//
+// We build a toy stream of "images", each with a hidden attribute the
+// expensive classifier would extract; the PP learns to predict the predicate
+// outcome from raw features and filters the stream ahead of the classifier.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	probpred "probpred"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Synthesize blobs: 2-D raw features where the (hidden) predicate
+	// "is interesting" holds when the features land in the upper-right
+	// region, plus noise. In a real system the labels would come from
+	// running the expensive UDF on a historical sample (§4).
+	rng := probpred.NewRNG(7)
+	var all probpred.Set
+	for i := 0; i < 3000; i++ {
+		x := probpred.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		label := x[0]+0.5*x[1] > 1.1 // ~15% selectivity
+		all.Append(probpred.FromDense(i, x), label)
+	}
+	train, val, test := all.Split(rng, 0.6, 0.2)
+
+	// Train the PP. An empty Approach invokes model selection (§5.5).
+	pp, err := probpred.TrainPP("interesting=1", train, val, probpred.TrainConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %s (per-blob cost %.2f virtual ms)\n\n", pp, pp.Cost())
+
+	// The accuracy-versus-reduction trade-off is parametric: pick any
+	// target after training, no retraining needed (§5.1).
+	fmt.Printf("%-10s %12s %12s %12s\n", "target a", "reduction", "test red.", "test acc.")
+	for _, a := range []float64{1.0, 0.99, 0.95, 0.9} {
+		m := probpred.EvaluatePP(pp, test, a)
+		fmt.Printf("%-10.2f %12.3f %12.3f %12.3f\n", a, pp.Reduction(a), m.Reduction, m.Accuracy)
+	}
+
+	// Shortcutting an expensive UDF: only blobs passing the PP reach it.
+	const udfCost = 50.0 // virtual ms per blob
+	a := 0.95
+	processed := 0
+	for _, b := range test.Blobs {
+		if pp.Pass(b, a) {
+			processed++
+		}
+	}
+	saved := 1 - float64(processed)/float64(test.Len())
+	fmt.Printf("\nat a=%.2f the PP sends %d/%d blobs to the %gms UDF (%.0f%% of UDF work saved)\n",
+		a, processed, test.Len(), udfCost, saved*100)
+	fmt.Printf("expected query speed-up: %.2fx\n",
+		(udfCost)/(pp.Cost()+(1-saved)*udfCost))
+	return nil
+}

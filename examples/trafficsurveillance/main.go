@@ -1,0 +1,128 @@
+// Traffic surveillance: the paper's running example (§1) end to end — find
+// red SUVs (and other complex predicates) in a camera stream where vehicle
+// type, color, speed and route are only available after expensive UDFs.
+//
+// A corpus of per-clause PPs is trained once; the query optimizer then
+// assembles necessary-condition PP combinations for each ad-hoc predicate
+// and injects them ahead of the UDFs (§6).
+//
+//	go run ./examples/trafficsurveillance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	probpred "probpred"
+	"probpred/datasets"
+)
+
+// queries are ad-hoc predicates, none of which has its own trained PP.
+var queries = []string{
+	"t=SUV & c=red",                  // the paper's red-SUV query
+	"s>60 & s<65",                    // speeding band
+	"t in {truck, van} & c!=white",   // deliveries that are not white
+	"i=pt303 & (o=pt335 | o=pt306)",  // an illegal-turn route
+	"t=SUV & c=red & i=pt335 & s>50", // four clauses, very selective
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The stream: a training prefix (where UDF outputs are available for
+	// labeling) and the live portion the queries run over.
+	all := datasets.Traffic(datasets.TrafficConfig{Rows: 12000, Seed: 11})
+	prefix, live := all[:3000], all[3000:]
+
+	// Train one SVM PP per simple clause — the §8.2 corpus.
+	fmt.Println("training PP corpus on the stream prefix...")
+	corpus := probpred.NewCorpus()
+	clauses := []string{}
+	for _, t := range []string{"sedan", "SUV", "truck", "van"} {
+		clauses = append(clauses, "t="+t)
+	}
+	for _, c := range []string{"white", "black", "silver", "red", "other"} {
+		clauses = append(clauses, "c="+c)
+	}
+	for _, pt := range []string{"pt211", "pt303", "pt306", "pt335", "pt401", "pt501"} {
+		clauses = append(clauses, "i="+pt, "o="+pt)
+	}
+	clauses = append(clauses, "s>50", "s>60", "s<65", "s<70")
+	for i, clause := range clauses {
+		pred, err := probpred.ParsePredicate(clause)
+		if err != nil {
+			return err
+		}
+		set, err := datasets.TrafficSet(prefix, pred)
+		if err != nil {
+			return err
+		}
+		train, val, _ := set.Split(probpred.NewRNG(uint64(i)+100), 0.8, 0.2)
+		pp, err := probpred.TrainPP(clause, train, val, probpred.TrainConfig{
+			Approach: "Raw+SVM", Seed: uint64(i)})
+		if err != nil {
+			return err
+		}
+		corpus.Add(pp)
+	}
+	fmt.Printf("corpus ready: %d PPs\n\n", corpus.Size())
+	opt := probpred.NewOptimizer(corpus)
+
+	const accuracy = 0.95
+	for _, qs := range queries {
+		pred, err := probpred.ParsePredicate(qs)
+		if err != nil {
+			return err
+		}
+		procs, u, err := datasets.TrafficPipeline(pred, 3)
+		if err != nil {
+			return err
+		}
+		dec, err := opt.Optimize(pred, probpred.OptimizeOptions{
+			Accuracy: accuracy, UDFCost: u, Domains: datasets.TrafficDomains(),
+		})
+		if err != nil {
+			return err
+		}
+		noPP, err := probpred.RunPlan(probpred.BuildPlan(live, nil, procs, pred), probpred.ExecConfig{})
+		if err != nil {
+			return err
+		}
+		withPP, err := probpred.RunPlan(probpred.BuildPlan(live, dec, procs, pred), probpred.ExecConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query: %s\n", qs)
+		if dec.Inject {
+			fmt.Printf("  injected: %s (est. reduction %.2f)\n", dec.Expr, dec.Reduction)
+		} else {
+			fmt.Printf("  no PP injected (running as-is is cheaper)\n")
+		}
+		fmt.Printf("  results: %d rows (vs %d without PPs) — %.1f%% of true results kept\n",
+			len(withPP.Rows), len(noPP.Rows), 100*keptFraction(noPP, withPP))
+		fmt.Printf("  cluster time: %.0f -> %.0f virtual ms (%.2fx speed-up)\n\n",
+			noPP.ClusterTime, withPP.ClusterTime, noPP.ClusterTime/withPP.ClusterTime)
+	}
+	return nil
+}
+
+func keptFraction(ref, cand *probpred.ExecResult) float64 {
+	if len(ref.Rows) == 0 {
+		return 1
+	}
+	kept := map[int]bool{}
+	for _, r := range cand.Rows {
+		kept[r.Blob.ID] = true
+	}
+	n := 0
+	for _, r := range ref.Rows {
+		if kept[r.Blob.ID] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ref.Rows))
+}

@@ -1,0 +1,3 @@
+module probpred
+
+go 1.22

@@ -1,0 +1,291 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"probpred/internal/data"
+	"probpred/internal/mathx"
+	"probpred/internal/svm"
+)
+
+// The Appendix-B video object-detection pipelines. The PP variant
+// (Figure 13) runs, per frame:
+//
+//  1. masked sampling — pixels outside the area of interest are ignored;
+//  2. absolute background subtraction against empty footage — frames whose
+//     relevant area barely deviates are declared empty;
+//  3. relative background subtraction against the previous frame — static
+//     frames reuse the previous frame's decision (frame redundancy);
+//  4. a two-threshold SVM on the masked difference image — confident
+//     accepts/rejects shortcut the reference DNN, the uncertain middle goes
+//     to the (very expensive) reference detector.
+//
+// A NoScope-like variant (Figure 12) disables the mask and the two-stage
+// subtraction and uses a costlier shallow-DNN-priced early filter.
+
+// CascadeConfig tunes the pipeline.
+type CascadeConfig struct {
+	// TrainFrames is the prefix of the stream used to train the early
+	// filter (the paper trains on the initial 10K frames). Zero selects
+	// min(5000, half the stream).
+	TrainFrames int
+	// AbsThreshold is the drift-compensated mean absolute background
+	// deviation below which a frame is declared empty. Zero selects 0.03.
+	AbsThreshold float64
+	// RelThreshold is the drift-compensated mean frame-to-frame deviation
+	// below which the previous decision is reused. Zero selects 0.03.
+	RelThreshold float64
+	// AcceptQuantile bounds the false positives of the confident-accept
+	// bar: the accept threshold sits at the (1−AcceptQuantile) quantile of
+	// the training negatives' scores. RejectQuantile bounds the false
+	// negatives of the confident-reject bar: the reject threshold sits at
+	// the RejectQuantile quantile of the training positives' scores.
+	// Frames scoring between the bars go to the reference DNN. Zeros
+	// select 0.005 each.
+	AcceptQuantile, RejectQuantile float64
+	// UseMask enables the area-of-interest mask (on for the PP pipeline,
+	// off for the NoScope-like variant).
+	UseMask bool
+	// UseRelativeBS enables the frame-redundancy stage.
+	UseRelativeBS bool
+	// FilterCost is the virtual per-frame cost of the early filter (SVM ≈ 1
+	// for the PP pipeline; a shallow DNN ≈ 10 for NoScope).
+	FilterCost float64
+	// RawFeatures feeds the filter unsorted per-pixel differences (the
+	// NoScope-like variant: its shallow DNN sees the frame layout and can
+	// learn to ignore fixed nuisance regions). The default sorted order
+	// statistics are the PP pipeline's translation-invariant features.
+	RawFeatures bool
+	// DNNCost is the virtual per-frame cost of the reference detector.
+	// Zero selects 500.
+	DNNCost float64
+	// Seed drives training.
+	Seed uint64
+}
+
+func (c *CascadeConfig) fill(streamLen int) {
+	if c.TrainFrames == 0 {
+		c.TrainFrames = 5000
+		if half := streamLen / 2; c.TrainFrames > half {
+			c.TrainFrames = half
+		}
+	}
+	if c.AbsThreshold == 0 {
+		c.AbsThreshold = 0.03
+	}
+	if c.RelThreshold == 0 {
+		c.RelThreshold = 0.03
+	}
+	if c.AcceptQuantile == 0 {
+		c.AcceptQuantile = 0.005
+	}
+	if c.RejectQuantile == 0 {
+		c.RejectQuantile = 0.005
+	}
+	if c.FilterCost == 0 {
+		c.FilterCost = 1
+	}
+	if c.DNNCost == 0 {
+		c.DNNCost = 500
+	}
+}
+
+// CascadeResult reports the Table 12 metrics for one run over the frames
+// after the training prefix.
+type CascadeResult struct {
+	// Frames is the number of evaluated (post-training) frames.
+	Frames int
+	// PreProcReduction is the fraction of frames resolved by the mask +
+	// background-subtraction stages.
+	PreProcReduction float64
+	// EarlyDrop is the fraction of the remaining frames resolved by the
+	// two-threshold early filter.
+	EarlyDrop float64
+	// DNNFrames is how many frames reached the reference detector.
+	DNNFrames int
+	// Speedup is (frames × DNN cost) / total pipeline cost.
+	Speedup float64
+	// Accuracy is agreement with ground truth over all evaluated frames.
+	Accuracy float64
+	// Recall is the fraction of true object frames classified positive.
+	Recall float64
+}
+
+// RunCascade trains the early filter on the stream prefix and runs the
+// cascade over the remainder.
+func RunCascade(v *data.VideoStream, cfg CascadeConfig) (*CascadeResult, error) {
+	cfg.fill(len(v.Frames))
+	if cfg.TrainFrames < 10 || cfg.TrainFrames >= len(v.Frames) {
+		return nil, fmt.Errorf("baseline: cascade needs a training prefix, have %d frames", len(v.Frames))
+	}
+	feats := func(frame mathx.Vec) mathx.Vec {
+		ds := diffs(v, frame, v.Background, cfg.UseMask)
+		if cfg.RawFeatures {
+			return ds
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(ds)))
+		if len(ds) > featureDims {
+			ds = ds[:featureDims]
+		}
+		return ds
+	}
+
+	// Train the early filter on the prefix.
+	var xs []mathx.Vec
+	var ys []bool
+	trainPos := 0
+	for i := 0; i < cfg.TrainFrames; i++ {
+		xs = append(xs, feats(v.Frames[i].Dense))
+		ys = append(ys, v.HasObject[i])
+		if v.HasObject[i] {
+			trainPos++
+		}
+	}
+	if trainPos == 0 || trainPos == cfg.TrainFrames {
+		return nil, fmt.Errorf("baseline: training prefix has a single class (%d/%d object frames)",
+			trainPos, cfg.TrainFrames)
+	}
+	model, err := svm.Train(xs, ys, svm.Config{Seed: cfg.Seed, ClassWeightPos: 4})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: cascade filter: %w", err)
+	}
+	// Two thresholds from the training-score distributions.
+	var posScores, negScores []float64
+	for i, x := range xs {
+		s := model.Score(x)
+		if ys[i] {
+			posScores = append(posScores, s)
+		} else {
+			negScores = append(negScores, s)
+		}
+	}
+	acceptTh := mathx.Quantile(negScores, 1-cfg.AcceptQuantile) // few negatives above
+	rejectTh := mathx.Quantile(posScores, cfg.RejectQuantile)   // few positives below
+	// A frame is confidently accepted only when it clears BOTH bars from
+	// above, confidently rejected only when it clears both from below;
+	// anything between goes to the reference DNN. This holds whether the
+	// bars overlap (noisy classes) or cross (clean separation: the gap
+	// between the distributions is the uncertain band).
+	hiTh := math.Max(acceptTh, rejectTh)
+	loTh := math.Min(acceptTh, rejectTh)
+
+	res := &CascadeResult{}
+	totalCost := 0.0
+	prevDecision := false
+	havePrev := false
+	var prevFrame mathx.Vec
+	correct, truePos, posSeen := 0, 0, 0
+	bsCost := 0.5 // mask + subtraction per stage
+	preResolved, filterResolved := 0, 0
+
+	for i := cfg.TrainFrames; i < len(v.Frames); i++ {
+		frame := v.Frames[i].Dense
+		truth := v.HasObject[i]
+		res.Frames++
+		if truth {
+			posSeen++
+		}
+		var decision bool
+		resolved := false
+
+		// Stage 1: absolute background subtraction in the relevant area.
+		totalCost += bsCost
+		absDev := meanAbsDev(v, frame, v.Background, cfg.UseMask)
+		if absDev < cfg.AbsThreshold {
+			decision, resolved = false, true
+			preResolved++
+		}
+		// Stage 2: relative subtraction — reuse the previous decision for
+		// static frames.
+		if !resolved && cfg.UseRelativeBS && havePrev {
+			totalCost += bsCost
+			if meanAbsDev(v, frame, prevFrame, cfg.UseMask) < cfg.RelThreshold {
+				decision, resolved = prevDecision, true
+				preResolved++
+			}
+		}
+		// Stage 3: two-threshold early filter.
+		if !resolved {
+			totalCost += cfg.FilterCost
+			s := model.Score(feats(frame))
+			switch {
+			case s >= hiTh:
+				decision, resolved = true, true
+				filterResolved++
+			case s <= loTh:
+				decision, resolved = false, true
+				filterResolved++
+			}
+		}
+		// Stage 4: reference DNN.
+		if !resolved {
+			totalCost += cfg.DNNCost
+			decision = truth // the reference detector is ground truth here
+			res.DNNFrames++
+		}
+		if decision == truth {
+			correct++
+		}
+		if decision && truth {
+			truePos++
+		}
+		prevDecision, prevFrame, havePrev = decision, frame, true
+	}
+	res.PreProcReduction = float64(preResolved) / float64(res.Frames)
+	if rem := res.Frames - preResolved; rem > 0 {
+		res.EarlyDrop = float64(filterResolved) / float64(rem)
+	}
+	res.Accuracy = float64(correct) / float64(res.Frames)
+	if posSeen > 0 {
+		res.Recall = float64(truePos) / float64(posSeen)
+	} else {
+		res.Recall = 1
+	}
+	res.Speedup = float64(res.Frames) * cfg.DNNCost / totalCost
+	return res, nil
+}
+
+// diffs collects per-pixel deviations between two frames over the relevant
+// area, compensated for global illumination drift by subtracting the median
+// deviation (fixed-camera background subtraction standard practice).
+func diffs(v *data.VideoStream, a, b mathx.Vec, useMask bool) mathx.Vec {
+	w := v.Width
+	relevantW := w
+	if useMask {
+		relevantW = w - v.MaskCols
+	}
+	out := make(mathx.Vec, 0, relevantW*v.Height)
+	for y := 0; y < v.Height; y++ {
+		for x := 0; x < relevantW; x++ {
+			i := y*w + x
+			out = append(out, a[i]-b[i])
+		}
+	}
+	med := mathx.Quantile(out, 0.5)
+	for i := range out {
+		out[i] -= med
+	}
+	return out
+}
+
+// featureDims is the width of the early filter's input: the largest
+// drift-compensated deviations, sorted descending — order statistics are
+// translation-invariant, so the filter generalizes to object positions it
+// never saw in training.
+const featureDims = 32
+
+// meanAbsDev is the drift-compensated mean absolute pixel deviation between
+// two frames over the relevant area.
+func meanAbsDev(v *data.VideoStream, a, b mathx.Vec, useMask bool) float64 {
+	ds := diffs(v, a, b, useMask)
+	sum := 0.0
+	for _, d := range ds {
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(ds))
+}

@@ -1,0 +1,81 @@
+// Package baseline implements the comparison systems of §8: SortP (optimal
+// predicate/UDF ordering, Deshpande et al. [17] over Babu et al. [7]), the
+// correlated-input-column filter of Joglekar et al. [27], and the
+// NoScope-style video cascade of Appendix B. NoP — running the query as-is —
+// is simply an engine plan with no PP filter.
+package baseline
+
+import (
+	"sort"
+
+	"probpred/internal/blob"
+	"probpred/internal/engine"
+	"probpred/internal/query"
+)
+
+// SortPClause is one orderable unit of a SortP plan: a predicate clause (or
+// group), the not-yet-materialized UDFs it needs, and its estimated pass
+// rate.
+type SortPClause struct {
+	Pred     query.Pred
+	UDFs     []engine.Processor
+	PassRate float64
+}
+
+// cost returns the clause's incremental per-row cost.
+func (c SortPClause) cost() float64 {
+	total := 0.01 // the σ itself
+	for _, u := range c.UDFs {
+		total += u.Cost()
+	}
+	return total
+}
+
+// rank is the classic ordering metric cost/(1−passRate): cheap, highly
+// reductive clauses first.
+func (c SortPClause) rank() float64 {
+	drop := 1 - c.PassRate
+	if drop <= 0 {
+		return 1e18
+	}
+	return c.cost() / drop
+}
+
+// Order sorts clauses by ascending rank (the optimal ordering for
+// independent predicates).
+func Order(clauses []SortPClause) []SortPClause {
+	out := append([]SortPClause(nil), clauses...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].rank() < out[b].rank() })
+	return out
+}
+
+// Plan builds the SortP physical plan: the prelude UDFs run first, then each
+// clause group executes as its own serialized stage — evaluating a predicate
+// before deciding whether to run the next group's UDFs is what saves
+// resources but lengthens the critical path (§8.2: SortP "substantially
+// increases the job latency because serializing the predicates and UDFs
+// leads to longer critical paths").
+func Plan(blobs []blob.Blob, prelude []engine.Processor, clauses []SortPClause) engine.Plan {
+	ops := []engine.Operator{&engine.Scan{Blobs: blobs}}
+	emitted := map[string]bool{}
+	for _, p := range prelude {
+		ops = append(ops, &engine.Process{P: p})
+		emitted[p.Name()] = true
+	}
+	for i, c := range Order(clauses) {
+		if i > 0 {
+			ops = append(ops, &engine.Barrier{Label: "sortp"})
+		}
+		// Each clause lists every UDF its columns need; a UDF already
+		// materialized by an earlier stage is not re-run.
+		for _, u := range c.UDFs {
+			if emitted[u.Name()] {
+				continue
+			}
+			emitted[u.Name()] = true
+			ops = append(ops, &engine.Process{P: u})
+		}
+		ops = append(ops, &engine.Select{Pred: c.Pred})
+	}
+	return engine.Plan{Ops: ops}
+}

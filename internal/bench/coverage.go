@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	"probpred/internal/data"
+	"probpred/internal/mathx"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+)
+
+// Coverage quantifies §8.2's closing claim: the space of possible traffic
+// predicates is ~100⁴, yet a corpus of 32 per-clause PPs covers it —
+// "a complex predicate will receive data reduction as long as some
+// combination of PPs in the corpus is a necessary condition". We draw
+// random ad-hoc predicates (1-4 clauses over the five columns, mixing =,
+// ≠, ranges and in-sets, none trained directly) and measure, for the full
+// corpus and progressively halved ones, how many predicates get at least
+// one feasible plan and what reduction the chosen plan estimates.
+func Coverage(cfg Config) (*Report, error) {
+	h, err := NewTrafficHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "coverage",
+		Title: "Random ad-hoc predicates vs corpus size: feasibility and estimated reduction (a=0.95)"}
+	nPreds := cfg.scale(200, 60)
+	rng := mathx.NewRNG(cfg.Seed ^ 0xc0de)
+	preds := make([]query.Pred, nPreds)
+	for i := range preds {
+		preds[i] = randomTrafficPredicate(rng)
+	}
+
+	corpora := []struct {
+		name string
+		keep int // keep every keep-th clause
+	}{
+		{"full (32 PPs)", 1},
+		{"half (16 PPs)", 2},
+		{"quarter (8 PPs)", 4},
+	}
+	tb := &table{header: []string{"corpus", "covered", "est r (median)", "est r (mean)", "#plans (median)"}}
+	for _, c := range corpora {
+		corpus := optimizer.NewCorpus()
+		for i, clause := range corpusClauses() {
+			if i%c.keep != 0 {
+				continue
+			}
+			if pp, ok := h.Opt.Corpus().Get(clause); ok {
+				corpus.Add(pp)
+			}
+		}
+		opt := optimizer.New(corpus)
+		covered := 0
+		var reductions []float64
+		var plans []float64
+		for _, p := range preds {
+			dec, err := opt.Optimize(p, optimizer.Options{
+				Accuracy: 0.95, UDFCost: 100, Domains: data.TrafficDomains(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, float64(dec.NumCandidates))
+			if dec.Inject {
+				covered++
+				reductions = append(reductions, dec.Reduction)
+			}
+		}
+		tb.add(c.name,
+			fmt.Sprintf("%d/%d", covered, nPreds),
+			f3(mathx.Quantile(reductions, 0.5)),
+			f3(mathx.Mean(reductions)),
+			fmt.Sprintf("%.0f", mathx.Quantile(plans, 0.5)))
+	}
+	rep.Lines = tb.render()
+	rep.addf("predicate space: %d random ad-hoc predicates, none trained directly", nPreds)
+	return rep, nil
+}
+
+// randomTrafficPredicate draws a 1-4 clause conjunction over distinct
+// columns, each clause one of the shapes of Table 7 (equality, inequality,
+// in-set, comparison, range).
+func randomTrafficPredicate(rng *mathx.RNG) query.Pred {
+	cols := []string{"t", "c", "s", "i", "o"}
+	order := rng.Perm(len(cols))
+	nClauses := 1 + rng.Intn(4)
+	var kids []query.Pred
+	for _, ci := range order[:nClauses] {
+		kids = append(kids, randomClause(rng, cols[ci]))
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return &query.And{Kids: kids}
+}
+
+func randomClause(rng *mathx.RNG, col string) query.Pred {
+	switch col {
+	case "s":
+		// Comparison or range on 5 mph boundaries (the discretized space).
+		lo := float64(5 * (2 + rng.Intn(12))) // 10..65
+		switch rng.Intn(3) {
+		case 0:
+			return &query.Clause{Col: "s", Op: query.OpGt, Val: query.Number(lo)}
+		case 1:
+			return &query.Clause{Col: "s", Op: query.OpLt, Val: query.Number(lo + 10)}
+		default:
+			return &query.And{Kids: []query.Pred{
+				&query.Clause{Col: "s", Op: query.OpGt, Val: query.Number(lo)},
+				&query.Clause{Col: "s", Op: query.OpLt, Val: query.Number(lo + 5 + float64(5*rng.Intn(3)))},
+			}}
+		}
+	default:
+		dom := domainValues(col)
+		switch rng.Intn(3) {
+		case 0: // equality
+			return &query.Clause{Col: col, Op: query.OpEq, Val: query.Str(dom[rng.Intn(len(dom))])}
+		case 1: // inequality
+			return &query.Clause{Col: col, Op: query.OpNe, Val: query.Str(dom[rng.Intn(len(dom))])}
+		default: // in-set of two distinct values
+			i := rng.Intn(len(dom))
+			j := (i + 1 + rng.Intn(len(dom)-1)) % len(dom)
+			return &query.Or{Kids: []query.Pred{
+				&query.Clause{Col: col, Op: query.OpEq, Val: query.Str(dom[i])},
+				&query.Clause{Col: col, Op: query.OpEq, Val: query.Str(dom[j])},
+			}}
+		}
+	}
+}
+
+func domainValues(col string) []string {
+	switch col {
+	case "t":
+		return data.VehicleTypes
+	case "c":
+		return data.VehicleColors
+	default:
+		return data.Intersections
+	}
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"probpred/internal/baseline"
+	"probpred/internal/blob"
+	"probpred/internal/core"
+	"probpred/internal/data"
+	"probpred/internal/engine"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+	"probpred/internal/udf"
+)
+
+// TRAF20 is the benchmark of §8.2: twenty inference queries over traffic
+// surveillance video, mixing equality (E), inequality (I), numeric (N),
+// range (R), conjunction (C) and disjunction (D) shapes as in Table 7, with
+// one to four clauses per predicate.
+var TRAF20 = []struct {
+	ID   string
+	Pred string
+}{
+	{"Q1", "t=SUV"},
+	{"Q2", "s>60"},
+	{"Q3", "c=red"},
+	{"Q4", "c!=white"},
+	{"Q5", "i=pt303"},
+	{"Q6", "s<40"},
+	{"Q7", "s>60 & s<65"},
+	{"Q8", "t in {sedan, truck}"},
+	{"Q9", "c in {red, silver}"},
+	{"Q10", "t=van & c=black"},
+	{"Q11", "s>50 & t=truck"},
+	{"Q12", "o=pt211 & c!=white"},
+	{"Q13", "t!=sedan & s>55"},
+	{"Q14", "i=pt303 & (o=pt335 | o=pt306)"},
+	{"Q15", "t=SUV & s>60 & s<70"},
+	{"Q16", "c=white & i=pt401 & s<45"},
+	{"Q17", "(t=truck | t=van) & s>55"},
+	{"Q18", "t=SUV & c=red & s>60"},
+	{"Q19", "c=silver & i=pt306 & o=pt501 & s>40"},
+	{"Q20", "t=SUV & c=red & i=pt335 & o=pt211"},
+}
+
+// corpusClauses lists the 32 simple clauses the §8.2 corpus trains PPs for:
+// every value of the four categorical columns plus speed boundaries — the
+// complete coverage discussed with Table 10.
+func corpusClauses() []string {
+	var out []string
+	for _, t := range data.VehicleTypes {
+		out = append(out, "t="+t)
+	}
+	for _, c := range data.VehicleColors {
+		out = append(out, "c="+c)
+	}
+	for _, i := range data.Intersections {
+		out = append(out, "i="+i)
+		out = append(out, "o="+i)
+	}
+	for _, v := range []string{"40", "45", "50", "55", "60", "65"} {
+		out = append(out, "s>"+v)
+	}
+	for _, v := range []string{"40", "45", "50", "65", "70"} {
+		out = append(out, "s<"+v)
+	}
+	return out
+}
+
+// TrafficHarness holds a generated stream, a trained corpus and the plan
+// builders shared by the §8.2 experiments.
+type TrafficHarness struct {
+	// TrainBlobs is the "first 1 GB" prefix used for PP training (80/20
+	// train/validation) and selectivity estimation.
+	TrainBlobs []blob.Blob
+	// TestBlobs is the stream the benchmark queries run over.
+	TestBlobs []blob.Blob
+	// Opt is the optimizer over the trained corpus.
+	Opt *optimizer.Optimizer
+	// CorpusTrainTime is the total wall-clock time to build the corpus.
+	CorpusTrainTime time.Duration
+	// PPTrainTime maps clause to its individual training time.
+	PPTrainTime map[string]time.Duration
+
+	seed uint64
+}
+
+// NewTrafficHarness generates the stream and trains the 32-PP corpus (all
+// SVMs, as in §8.2).
+func NewTrafficHarness(cfg Config) (*TrafficHarness, error) {
+	trainRows := cfg.scale(3000, 1500)
+	testRows := cfg.scale(20000, 4000)
+	all := data.Traffic(data.TrafficConfig{Rows: trainRows + testRows, Seed: cfg.Seed})
+	h := &TrafficHarness{
+		TrainBlobs:  all[:trainRows],
+		TestBlobs:   all[trainRows:],
+		PPTrainTime: map[string]time.Duration{},
+		seed:        cfg.Seed,
+	}
+	corpus := optimizer.NewCorpus()
+	start := time.Now()
+	for i, clause := range corpusClauses() {
+		pp, err := h.TrainPP(clause, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		h.PPTrainTime[clause] = pp.TrainDuration
+		corpus.Add(pp)
+	}
+	h.CorpusTrainTime = time.Since(start)
+	h.Opt = optimizer.New(corpus)
+	return h, nil
+}
+
+// NewTrafficHarnessWithCorpus builds the harness around an existing corpus
+// (e.g. one reloaded from disk), generating the same stream but skipping
+// training.
+func NewTrafficHarnessWithCorpus(cfg Config, corpus *optimizer.Corpus) (*TrafficHarness, error) {
+	trainRows := cfg.scale(3000, 1500)
+	testRows := cfg.scale(20000, 4000)
+	all := data.Traffic(data.TrafficConfig{Rows: trainRows + testRows, Seed: cfg.Seed})
+	return &TrafficHarness{
+		TrainBlobs:  all[:trainRows],
+		TestBlobs:   all[trainRows:],
+		Opt:         optimizer.New(corpus),
+		PPTrainTime: map[string]time.Duration{},
+		seed:        cfg.Seed,
+	}, nil
+}
+
+// TrainPP trains one SVM PP for a simple clause on the training prefix.
+func (h *TrafficHarness) TrainPP(clause string, salt uint64) (*core.PP, error) {
+	pred, err := query.Parse(clause)
+	if err != nil {
+		return nil, fmt.Errorf("bench: corpus clause %q: %w", clause, err)
+	}
+	set, err := data.TrafficSet(h.TrainBlobs, pred)
+	if err != nil {
+		return nil, err
+	}
+	train, val, _ := set.Split(newRNG(h.seed^salt), 0.8, 0.2)
+	return core.Train(clause, train, val, core.TrainConfig{
+		Approach: "Raw+SVM", Seed: h.seed + salt,
+		SVM: svmConfigForTraffic(),
+	})
+}
+
+// Selectivity measures a predicate's pass rate on the training prefix (what
+// a real system would estimate from history).
+func (h *TrafficHarness) Selectivity(pred query.Pred) (float64, error) {
+	set, err := data.TrafficSet(h.TrainBlobs, pred)
+	if err != nil {
+		return 0, err
+	}
+	return set.Selectivity(), nil
+}
+
+// NoPPlan builds the unmodified plan (the Optasia-like NoP baseline): scan,
+// detector, every UDF the predicate needs, then the σ.
+func (h *TrafficHarness) NoPPlan(pred query.Pred) (engine.Plan, float64, error) {
+	procs, err := udf.TrafficPipeline(pred, 0, h.seed)
+	if err != nil {
+		return engine.Plan{}, 0, err
+	}
+	ops := []engine.Operator{&engine.Scan{Blobs: h.TestBlobs}}
+	for _, p := range procs {
+		ops = append(ops, &engine.Process{P: p})
+	}
+	ops = append(ops, &engine.Select{Pred: pred})
+	return engine.Plan{Ops: ops}, udf.PipelineCost(procs), nil
+}
+
+// PPPlan builds the PP-injected plan at the given accuracy target, returning
+// the plan, the optimizer decision, and the per-blob UDF cost u.
+func (h *TrafficHarness) PPPlan(pred query.Pred, accuracy float64) (engine.Plan, *optimizer.Decision, error) {
+	procs, err := udf.TrafficPipeline(pred, 0, h.seed)
+	if err != nil {
+		return engine.Plan{}, nil, err
+	}
+	u := udf.PipelineCost(procs)
+	dec, err := h.Opt.Optimize(pred, optimizer.Options{
+		Accuracy: accuracy,
+		UDFCost:  u,
+		Domains:  data.TrafficDomains(),
+	})
+	if err != nil {
+		return engine.Plan{}, nil, err
+	}
+	ops := []engine.Operator{&engine.Scan{Blobs: h.TestBlobs}}
+	if dec.Inject {
+		ops = append(ops, &engine.PPFilter{F: dec.Filter})
+	}
+	for _, p := range procs {
+		ops = append(ops, &engine.Process{P: p})
+	}
+	ops = append(ops, &engine.Select{Pred: pred})
+	return engine.Plan{Ops: ops}, dec, nil
+}
+
+// SortPPlan builds the Deshpande et al. [17] baseline: predicate clauses
+// (top-level conjuncts) ordered by cost/(1−selectivity), each as its own
+// serialized stage.
+func (h *TrafficHarness) SortPPlan(pred query.Pred) (engine.Plan, error) {
+	conjuncts := topLevelConjuncts(pred)
+	var clauses []baseline.SortPClause
+	for _, c := range conjuncts {
+		sel, err := h.Selectivity(c)
+		if err != nil {
+			return engine.Plan{}, err
+		}
+		// Each clause lists every UDF its columns require; baseline.Plan
+		// deduplicates UDFs already materialized by earlier stages.
+		var udfs []engine.Processor
+		for _, col := range query.Columns(c) {
+			p, err := udf.TrafficUDFFor(col, 0, h.seed)
+			if err != nil {
+				return engine.Plan{}, err
+			}
+			udfs = append(udfs, p)
+		}
+		clauses = append(clauses, baseline.SortPClause{Pred: c, UDFs: udfs, PassRate: sel})
+	}
+	return baseline.Plan(h.TestBlobs, []engine.Processor{udf.VehDetector{}}, clauses), nil
+}
+
+// topLevelConjuncts splits a predicate into its top-level AND factors.
+func topLevelConjuncts(pred query.Pred) []query.Pred {
+	if and, ok := pred.(*query.And); ok {
+		return and.Kids
+	}
+	return []query.Pred{pred}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strconv"
+
+	"probpred/internal/baseline"
+	"probpred/internal/data"
+)
+
+// Table12 regenerates Table 12 (Appendix B): the PP-style video pipeline
+// (mask + two-stage background subtraction + two-threshold SVM) against a
+// NoScope-like configuration (no mask, single-stage subtraction, shallow-DNN
+// priced filter) on the coral and square streams.
+func Table12(cfg Config) (*Report, error) {
+	rep := &Report{ID: "table12", Title: "Video object detection cascades (coral/square streams)"}
+	frames := cfg.scale(40000, 12000)
+	coral := data.Coral(data.CoralConfig{Frames: frames, Seed: cfg.Seed})
+	square := data.Square(data.CoralConfig{Frames: frames, Seed: cfg.Seed})
+
+	runs := []struct {
+		system string
+		stream *data.VideoStream
+		cfg    baseline.CascadeConfig
+	}{
+		{"NoScope-like", coral, baseline.CascadeConfig{
+			UseMask: false, UseRelativeBS: true, FilterCost: 10, RawFeatures: true,
+			AcceptQuantile: 0.01, RejectQuantile: 0.01, Seed: cfg.Seed,
+		}},
+		{"PP (strict)", coral, baseline.CascadeConfig{
+			UseMask: true, UseRelativeBS: true, FilterCost: 1,
+			AcceptQuantile: 0.002, RejectQuantile: 0.002, Seed: cfg.Seed,
+		}},
+		{"PP (relaxed)", coral, baseline.CascadeConfig{
+			UseMask: true, UseRelativeBS: true, FilterCost: 1,
+			AcceptQuantile: 0.02, RejectQuantile: 0.02, Seed: cfg.Seed,
+		}},
+		{"PP (strict)", square, baseline.CascadeConfig{
+			UseMask: true, UseRelativeBS: true, FilterCost: 1,
+			AcceptQuantile: 0.002, RejectQuantile: 0.002, Seed: cfg.Seed,
+		}},
+	}
+	tb := &table{header: []string{"system", "video", "pre-proc red.", "early drop",
+		"DNN frames", "speed-up", "accuracy", "recall"}}
+	for _, r := range runs {
+		res, err := baseline.RunCascade(r.stream, r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.add(r.system, r.stream.Name, f3(res.PreProcReduction), f3(res.EarlyDrop),
+			strconv.Itoa(res.DNNFrames), f2(res.Speedup)+"x", f3(res.Accuracy), f3(res.Recall))
+	}
+	rep.Lines = tb.render()
+	return rep, nil
+}

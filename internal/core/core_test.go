@@ -1,0 +1,365 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/mathx"
+)
+
+// linearSet: dense 2-D blobs, positives where x0+x1 > 1.2 (selectivity ~0.3).
+func linearSet(n int, seed uint64) blob.Set {
+	rng := mathx.NewRNG(seed)
+	var s blob.Set
+	for i := 0; i < n; i++ {
+		x := mathx.Vec{rng.Float64(), rng.Float64()}
+		s.Append(blob.FromDense(i, x), x[0]+x[1] > 1.2)
+	}
+	return s
+}
+
+// ringSet: dense 2-D blobs, positives on a ring (non-linearly separable).
+func ringSet(n int, seed uint64) blob.Set {
+	rng := mathx.NewRNG(seed)
+	var s blob.Set
+	for i := 0; i < n; i++ {
+		var x mathx.Vec
+		var label bool
+		if i%3 == 0 {
+			theta := rng.Float64() * 2 * math.Pi
+			r := 3 + rng.NormFloat64()*0.2
+			x = mathx.Vec{r * math.Cos(theta), r * math.Sin(theta)}
+			label = true
+		} else {
+			x = mathx.Vec{rng.NormFloat64(), rng.NormFloat64()}
+			label = false
+		}
+		s.Append(blob.FromDense(i, x), label)
+	}
+	return s
+}
+
+// sparseSet: sparse high-dim blobs; positives contain "indicator" words
+// 0..9 with high weight — linearly separable in hashed space.
+func sparseSet(n, dim int, seed uint64) blob.Set {
+	rng := mathx.NewRNG(seed)
+	var s blob.Set
+	for i := 0; i < n; i++ {
+		label := rng.Bernoulli(0.25)
+		var idx []int
+		var val []float64
+		for k := 0; k < 20; k++ {
+			idx = append(idx, 10+rng.Intn(dim-10))
+			val = append(val, 1+rng.Float64())
+		}
+		if label {
+			for w := 0; w < 5; w++ {
+				idx = append(idx, rng.Intn(10))
+				val = append(val, 3+rng.Float64())
+			}
+		}
+		s.Append(blob.FromSparse(i, mathx.NewSparse(dim, idx, val)), label)
+	}
+	return s
+}
+
+func TestTrainLinearSVMPP(t *testing.T) {
+	train := linearSet(600, 1)
+	val := linearSet(300, 2)
+	pp, err := Train("sum>1.2", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Approach != "Raw+SVM" || pp.Clause != "sum>1.2" {
+		t.Fatalf("metadata wrong: %+v", pp)
+	}
+	test := linearSet(400, 4)
+	m := Evaluate(pp, test, 0.95)
+	if m.Accuracy < 0.9 {
+		t.Fatalf("accuracy = %v, want >= 0.9", m.Accuracy)
+	}
+	if m.Reduction < 0.3 {
+		t.Fatalf("reduction = %v, want >= 0.3 on separable data", m.Reduction)
+	}
+}
+
+func TestTrainKDEOnRing(t *testing.T) {
+	train := ringSet(600, 5)
+	val := ringSet(300, 6)
+	pp, err := Train("onring", train, val, TrainConfig{Approach: "Raw+KDE", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := ringSet(300, 8)
+	m := Evaluate(pp, test, 0.95)
+	if m.Accuracy < 0.85 || m.Reduction < 0.4 {
+		t.Fatalf("KDE ring: accuracy=%v reduction=%v", m.Accuracy, m.Reduction)
+	}
+}
+
+func TestSVMFailsOnRingKDEWins(t *testing.T) {
+	// The paper's core model-selection motivation: linear SVM cannot filter
+	// non-linearly separable data; KDE can (§5.1/§5.2 usage notes).
+	train := ringSet(600, 9)
+	val := ringSet(300, 10)
+	svmPP, err := Train("onring", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdePP, err := Train("onring", train, val, TrainConfig{Approach: "Raw+KDE", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kdePP.Reduction(0.95) <= svmPP.Reduction(0.95) {
+		t.Fatalf("KDE r=%v should beat SVM r=%v on ring data",
+			kdePP.Reduction(0.95), svmPP.Reduction(0.95))
+	}
+}
+
+func TestTrainSparseFHSVM(t *testing.T) {
+	train := sparseSet(800, 2000, 12)
+	val := sparseSet(400, 2000, 13)
+	pp, err := Train("cat=5", train, val, TrainConfig{Approach: "FH+SVM", Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := sparseSet(400, 2000, 15)
+	m := Evaluate(pp, test, 0.95)
+	if m.Accuracy < 0.9 || m.Reduction < 0.4 {
+		t.Fatalf("FH+SVM sparse: accuracy=%v reduction=%v", m.Accuracy, m.Reduction)
+	}
+}
+
+func TestCandidateApproachesApplicability(t *testing.T) {
+	sparse := sparseSet(50, 500, 16)
+	cands := CandidateApproaches(sparse, TrainConfig{})
+	for _, c := range cands {
+		if !strings.HasPrefix(c, "FH") {
+			t.Fatalf("sparse candidates must use FH, got %v", cands)
+		}
+	}
+	dense := linearSet(50, 17)
+	cands = CandidateApproaches(dense, TrainConfig{AllowDNN: true})
+	joined := strings.Join(cands, ",")
+	for _, want := range []string{"PCA+KDE", "PCA+SVM", "Raw+SVM", "Raw+KDE", "DNN"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("dense low-dim candidates missing %s: %v", want, cands)
+		}
+	}
+	// High-dim dense: no Raw entries.
+	var highDim blob.Set
+	rng := mathx.NewRNG(18)
+	for i := 0; i < 20; i++ {
+		v := make(mathx.Vec, 500)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		highDim.Append(blob.FromDense(i, v), i%2 == 0)
+	}
+	for _, c := range CandidateApproaches(highDim, TrainConfig{}) {
+		if strings.HasPrefix(c, "Raw") {
+			t.Fatalf("high-dim dense candidates must not include Raw: %v", c)
+		}
+	}
+}
+
+func TestSelectApproachPicksNonlinearForRing(t *testing.T) {
+	train := ringSet(600, 19)
+	val := ringSet(300, 20)
+	got, err := SelectApproach(train, val, TrainConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "KDE") {
+		t.Fatalf("model selection picked %q for ring data, want a KDE approach", got)
+	}
+}
+
+func TestTrainAutoSelection(t *testing.T) {
+	train := sparseSet(400, 1000, 22)
+	val := sparseSet(200, 1000, 23)
+	pp, err := Train("cat=1", train, val, TrainConfig{Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pp.Approach, "FH") {
+		t.Fatalf("auto-selected %q for sparse data", pp.Approach)
+	}
+}
+
+func TestNegatePP(t *testing.T) {
+	train := linearSet(600, 25)
+	val := linearSet(300, 26)
+	pp, err := Train("sum>1.2", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := pp.Negate("sum<=1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neg.Negated() || neg.Clause != "sum<=1.2" {
+		t.Fatalf("negation metadata wrong: %+v", neg)
+	}
+	// The negated PP must be accurate for the complement class.
+	test := linearSet(400, 28)
+	inverted := blob.Set{Blobs: test.Blobs, Labels: make([]bool, test.Len())}
+	for i, l := range test.Labels {
+		inverted.Labels[i] = !l
+	}
+	m := Evaluate(neg, inverted, 0.95)
+	if m.Accuracy < 0.9 {
+		t.Fatalf("negated accuracy = %v", m.Accuracy)
+	}
+	// Scores flip sign exactly.
+	b := test.Blobs[0]
+	if neg.Score(b) != -pp.Score(b) {
+		t.Fatal("negated score is not -score")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train("p", blob.Set{}, blob.Set{}, TrainConfig{}); err == nil {
+		t.Fatal("expected error for empty sets")
+	}
+	train := linearSet(50, 29)
+	val := linearSet(50, 30)
+	if _, err := Train("p", train, val, TrainConfig{Approach: "Bogus+SVM"}); err == nil {
+		t.Fatal("expected error for unknown reducer")
+	}
+	if _, err := Train("p", train, val, TrainConfig{Approach: "Raw+Bogus"}); err == nil {
+		t.Fatal("expected error for unknown classifier")
+	}
+}
+
+func TestPPCostPositive(t *testing.T) {
+	train := linearSet(200, 31)
+	val := linearSet(100, 32)
+	pp, err := Train("p", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Cost() <= 0 {
+		t.Fatalf("Cost = %v", pp.Cost())
+	}
+	if pp.TrainN != 200 {
+		t.Fatalf("TrainN = %d", pp.TrainN)
+	}
+	if s := pp.String(); !strings.Contains(s, "Raw+SVM") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEvaluateNoFalseNegativeGuaranteeAtA1OnValidation(t *testing.T) {
+	// At a=1, every positive *validation* blob passes by construction.
+	train := linearSet(400, 34)
+	val := linearSet(200, 35)
+	pp, err := Train("p", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(pp, val, 1.0)
+	if m.Accuracy != 1.0 {
+		t.Fatalf("validation accuracy at a=1 is %v, want exactly 1", m.Accuracy)
+	}
+}
+
+func TestEvaluateRelativeReduction(t *testing.T) {
+	train := linearSet(400, 37)
+	val := linearSet(200, 38)
+	pp, err := Train("p", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := linearSet(300, 40)
+	m := Evaluate(pp, test, 0.95)
+	want := m.Reduction / (1 - m.Selectivity)
+	if math.Abs(m.RelativeReduction-want) > 1e-12 {
+		t.Fatalf("RelativeReduction = %v, want %v", m.RelativeReduction, want)
+	}
+	if m.N != 300 {
+		t.Fatalf("N = %d", m.N)
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	train := linearSet(100, 41)
+	val := linearSet(100, 42)
+	pp, err := Train("p", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(pp, blob.Set{}, 0.95)
+	if m.N != 0 || m.Reduction != 0 {
+		t.Fatalf("empty evaluate = %+v", m)
+	}
+}
+
+func TestSplitApproach(t *testing.T) {
+	r, c := splitApproach("PCA+KDE")
+	if r != "PCA" || c != "KDE" {
+		t.Fatalf("splitApproach = %q %q", r, c)
+	}
+	r, c = splitApproach("DNN")
+	if r != "Raw" || c != "DNN" {
+		t.Fatalf("splitApproach(DNN) = %q %q", r, c)
+	}
+}
+
+func TestRecalibrateRestoresAccuracyUnderDrift(t *testing.T) {
+	// Train on one regime, then shift the score distribution (a constant
+	// feature offset). The stale thresholds under-deliver; recalibrating on
+	// a fresh labeled sample restores the accuracy guarantee without
+	// retraining.
+	train := linearSet(600, 90)
+	val := linearSet(300, 91)
+	pp, err := Train("sum>1.2", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := func(seed uint64) blob.Set {
+		base := linearSet(400, seed)
+		var out blob.Set
+		for _, b := range base.Blobs {
+			v := mathx.CloneVec(b.Dense)
+			v[0] -= 0.35 // sensor drift shifts the first feature
+			// Labels still follow the *original* semantics on the shifted
+			// reading: the predicate column the UDF would output.
+			out.Append(blob.FromDense(b.ID, v), v[0]+v[1] > 1.2)
+		}
+		return out
+	}
+	drifted := drift(93)
+	before := Evaluate(pp, drifted, 0.95)
+	if err := pp.Recalibrate(drift(94)); err != nil {
+		t.Fatal(err)
+	}
+	after := Evaluate(pp, drifted, 0.95)
+	if after.Accuracy < before.Accuracy && after.Accuracy < 0.9 {
+		t.Fatalf("recalibration did not help: before %v after %v", before.Accuracy, after.Accuracy)
+	}
+	if after.Accuracy < 0.88 {
+		t.Fatalf("accuracy after recalibration = %v", after.Accuracy)
+	}
+}
+
+func TestRecalibrateErrors(t *testing.T) {
+	train := linearSet(200, 95)
+	val := linearSet(100, 96)
+	pp, err := Train("p", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.Recalibrate(blob.Set{}); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	var negOnly blob.Set
+	for i := 0; i < 10; i++ {
+		negOnly.Append(blob.FromDense(i, mathx.Vec{0, 0}), false)
+	}
+	if err := pp.Recalibrate(negOnly); err == nil {
+		t.Fatal("expected error for single-class set")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve is the accuracy-versus-data-reduction profile of a PP, computed on a
+// held-out validation set (§5.6: the classifiers are trained on 𝒟_train but
+// r(a] is calculated on 𝒟_val).
+//
+// The decision rule is PP(x) = +1 iff f(ψ(x)) ≥ th(a] (Eq. 2) where th(a] is
+// the largest threshold that still lets an a-fraction of the +1-labeled
+// validation blobs pass (Eq. 3, Figure 5). The reduction rate r(a] is the
+// fraction of all validation blobs that fall below the threshold (Eq. 4).
+type Curve struct {
+	scores []float64 // raw validation scores, parallel to labels
+	labels []bool
+	pos    []float64 // sorted ascending scores of +1 blobs
+	all    []float64 // sorted ascending scores of all blobs
+}
+
+// NewCurve builds a curve from validation scores and ground-truth labels.
+// It returns an error on empty or mismatched input or when the validation
+// set has no positive blobs (the threshold would be undefined).
+func NewCurve(scores []float64, labels []bool) (*Curve, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("core: empty validation set for curve")
+	}
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("core: %d scores but %d labels", len(scores), len(labels))
+	}
+	c := &Curve{
+		scores: append([]float64(nil), scores...),
+		labels: append([]bool(nil), labels...),
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			return nil, fmt.Errorf("core: NaN validation score at index %d", i)
+		}
+		c.all = append(c.all, s)
+		if labels[i] {
+			c.pos = append(c.pos, s)
+		}
+	}
+	if len(c.pos) == 0 {
+		return nil, fmt.Errorf("core: validation set has no positive blobs")
+	}
+	sort.Float64s(c.pos)
+	sort.Float64s(c.all)
+	return c, nil
+}
+
+// Threshold returns th(a] for target accuracy a ∈ (0, 1]: the largest score
+// threshold under which at least ⌈a·n₊⌉ positives still pass (score ≥ th).
+func (c *Curve) Threshold(a float64) float64 {
+	nPos := len(c.pos)
+	k := int(math.Ceil(a * float64(nPos)))
+	if k <= 0 {
+		return math.Inf(1) // a ≤ 0 would let everything be dropped
+	}
+	if k > nPos {
+		k = nPos
+	}
+	// The k highest positive scores must pass, so th is the k-th highest.
+	return c.pos[nPos-k]
+}
+
+// Reduction returns r(a]: the fraction of validation blobs with score
+// strictly below th(a], i.e. the blobs the PP discards (Eq. 4).
+func (c *Curve) Reduction(a float64) float64 {
+	return c.ReductionAtThreshold(c.Threshold(a))
+}
+
+// ReductionAtThreshold returns the fraction of validation blobs whose score
+// is strictly below th.
+func (c *Curve) ReductionAtThreshold(th float64) float64 {
+	idx := sort.SearchFloat64s(c.all, th) // first index with score >= th
+	return float64(idx) / float64(len(c.all))
+}
+
+// AccuracyAtThreshold returns the fraction of positive validation blobs with
+// score ≥ th (the empirical accuracy the threshold achieves).
+func (c *Curve) AccuracyAtThreshold(th float64) float64 {
+	idx := sort.SearchFloat64s(c.pos, th)
+	return float64(len(c.pos)-idx) / float64(len(c.pos))
+}
+
+// Negate returns the curve of the PP for the negated predicate, reusing the
+// same validation scores with signs flipped and labels inverted (§5.6:
+// multiplying the classifier by −1 yields the classifier for ¬p).
+func (c *Curve) Negate() (*Curve, error) {
+	scores := make([]float64, len(c.scores))
+	labels := make([]bool, len(c.labels))
+	for i := range c.scores {
+		scores[i] = -c.scores[i]
+		labels[i] = !c.labels[i]
+	}
+	return NewCurve(scores, labels)
+}
+
+// ValidationN returns the number of validation blobs behind the curve.
+func (c *Curve) ValidationN() int { return len(c.all) }
+
+// ValidationSelectivity returns the fraction of positive validation blobs.
+func (c *Curve) ValidationSelectivity() float64 {
+	return float64(len(c.pos)) / float64(len(c.all))
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"probpred/internal/dnn"
+)
+
+// roundTrip saves and reloads a PP, failing the test on error.
+func roundTrip(t *testing.T, pp *PP) *PP {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// assertSameBehaviour checks scores, thresholds and metadata match.
+func assertSameBehaviour(t *testing.T, orig, loaded *PP, probes interface{ Len() int }) {
+	t.Helper()
+	if loaded.Clause != orig.Clause || loaded.Approach != orig.Approach {
+		t.Fatalf("metadata mismatch: %q/%q vs %q/%q",
+			loaded.Clause, loaded.Approach, orig.Clause, orig.Approach)
+	}
+	if loaded.TrainN != orig.TrainN {
+		t.Fatalf("TrainN mismatch: %d vs %d", loaded.TrainN, orig.TrainN)
+	}
+	for _, a := range []float64{1.0, 0.99, 0.95, 0.9} {
+		if loaded.Threshold(a) != orig.Threshold(a) {
+			t.Fatalf("threshold mismatch at a=%v", a)
+		}
+		if loaded.Reduction(a) != orig.Reduction(a) {
+			t.Fatalf("reduction mismatch at a=%v", a)
+		}
+	}
+}
+
+func TestPersistSVMPP(t *testing.T) {
+	train := linearSet(400, 60)
+	val := linearSet(200, 61)
+	pp, err := Train("sum>1.2", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, pp)
+	assertSameBehaviour(t, pp, loaded, val)
+	for _, b := range val.Blobs[:50] {
+		if loaded.Score(b) != pp.Score(b) {
+			t.Fatal("score mismatch after reload")
+		}
+	}
+}
+
+func TestPersistKDEPP(t *testing.T) {
+	train := ringSet(400, 63)
+	val := ringSet(200, 64)
+	pp, err := Train("onring", train, val, TrainConfig{Approach: "Raw+KDE", Seed: 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, pp)
+	assertSameBehaviour(t, pp, loaded, val)
+	for _, b := range val.Blobs[:50] {
+		if loaded.Score(b) != pp.Score(b) {
+			t.Fatal("KDE score mismatch after reload")
+		}
+	}
+}
+
+func TestPersistDNNPP(t *testing.T) {
+	train := ringSet(400, 66)
+	val := ringSet(200, 67)
+	pp, err := Train("onring", train, val, TrainConfig{Approach: "DNN", Seed: 68,
+		DNN: dnnQuickConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, pp)
+	assertSameBehaviour(t, pp, loaded, val)
+	for _, b := range val.Blobs[:50] {
+		if loaded.Score(b) != pp.Score(b) {
+			t.Fatal("DNN score mismatch after reload")
+		}
+	}
+}
+
+func TestPersistPCAReducedPP(t *testing.T) {
+	train := ringSet(500, 69)
+	val := ringSet(300, 70)
+	pp, err := Train("onring", train, val, TrainConfig{Approach: "PCA+KDE", Seed: 71, PCADims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, pp)
+	for _, b := range val.Blobs[:50] {
+		if loaded.Score(b) != pp.Score(b) {
+			t.Fatal("PCA+KDE score mismatch after reload")
+		}
+	}
+}
+
+func TestPersistFHPP(t *testing.T) {
+	train := sparseSet(500, 1000, 72)
+	val := sparseSet(300, 1000, 73)
+	pp, err := Train("cat=1", train, val, TrainConfig{Approach: "FH+SVM", Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, pp)
+	for _, b := range val.Blobs[:50] {
+		if loaded.Score(b) != pp.Score(b) {
+			t.Fatal("FH+SVM score mismatch after reload")
+		}
+	}
+}
+
+func TestPersistNegatedPPRederives(t *testing.T) {
+	// A negated PP round-trips with its negation flag; its thresholds must
+	// stay the negated curve's.
+	train := linearSet(400, 75)
+	val := linearSet(200, 76)
+	base, err := Train("sum>1.2", train, val, TrainConfig{Approach: "Raw+SVM", Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := base.Negate("sum<=1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, neg)
+	if !loaded.Negated() {
+		t.Fatal("negation flag lost")
+	}
+	if loaded.Threshold(0.95) != neg.Threshold(0.95) {
+		t.Fatal("negated threshold mismatch")
+	}
+	if loaded.Score(val.Blobs[0]) != neg.Score(val.Blobs[0]) {
+		t.Fatal("negated score mismatch")
+	}
+}
+
+func TestLoadPPGarbage(t *testing.T) {
+	if _, err := LoadPP(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+// dnnQuickConfig keeps DNN training short in persistence tests.
+func dnnQuickConfig() dnn.Config {
+	return dnn.Config{Epochs: 5}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"probpred/internal/blob"
+	"probpred/internal/mathx"
+)
+
+// CandidateApproaches lists the ψ+f combinations applicable to a training
+// set, pruned by the applicability constraints of Table 2: feature hashing
+// is reserved for sparse inputs (collisions hurt dense features, §5.4); raw
+// (unreduced) classifiers are limited to modest dimensionality; the DNN is
+// offered only when cfg.AllowDNN acknowledges its training cost (§5.3).
+func CandidateApproaches(train blob.Set, cfg TrainConfig) []string {
+	cfg.fill()
+	var out []string
+	if train.AnySparse() {
+		out = append(out, "FH+SVM", "FH+KDE")
+		if cfg.AllowDNN {
+			out = append(out, "FH+DNN")
+		}
+		return out
+	}
+	dim := train.Dim()
+	out = append(out, "PCA+KDE", "PCA+SVM")
+	if dim <= 64 {
+		out = append(out, "Raw+SVM")
+	}
+	if dim <= 16 {
+		out = append(out, "Raw+KDE")
+	}
+	if cfg.AllowDNN {
+		out = append(out, "DNN")
+	}
+	return out
+}
+
+// SelectApproach implements the model selection of §5.5 (Eq. 8): each
+// candidate approach is trained on a small sample of the training data and
+// the approach with the highest reduction rate at the selection accuracy
+// (default 0.95) on a validation sample wins. Candidates that fail to train
+// are skipped; if all fail, the last error is returned.
+func SelectApproach(train, val blob.Set, cfg TrainConfig) (string, error) {
+	cfg.fill()
+	candidates := CandidateApproaches(train, cfg)
+	rng := mathx.NewRNG(cfg.Seed ^ 0x5e1ec7)
+	trainSample := train.Sample(rng, cfg.SelectionSample)
+	valSample := val.Sample(rng, cfg.SelectionSample)
+	best := ""
+	bestR := -1.0
+	var lastErr error
+	for _, approach := range candidates {
+		r, err := evalApproach(approach, trainSample, valSample, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if r > bestR {
+			bestR, best = r, approach
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no candidate approach trained successfully: %w", lastErr)
+	}
+	return best, nil
+}
+
+// evalApproach trains one candidate on the sample and returns its reduction
+// at the selection accuracy.
+func evalApproach(approach string, trainSample, valSample blob.Set, cfg TrainConfig) (float64, error) {
+	reducer, scorer, err := trainApproach(approach, trainSample, cfg)
+	if err != nil {
+		return 0, err
+	}
+	scores := make([]float64, valSample.Len())
+	for i, b := range valSample.Blobs {
+		scores[i] = scorer.Score(reducer.Reduce(b))
+	}
+	curve, err := NewCurve(scores, valSample.Labels)
+	if err != nil {
+		return 0, err
+	}
+	return curve.Reduction(cfg.SelectionAccuracy), nil
+}

@@ -1,0 +1,384 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+	"probpred/internal/mathx"
+	"probpred/internal/query"
+)
+
+func TestLSHTCShape(t *testing.T) {
+	d := LSHTC(LSHTCConfig{Docs: 500, Seed: 1})
+	if len(d.Blobs) != 500 || d.NumCategories() != 40 {
+		t.Fatalf("docs=%d cats=%d", len(d.Blobs), d.NumCategories())
+	}
+	for _, b := range d.Blobs {
+		if !b.IsSparse() {
+			t.Fatal("LSHTC blobs must be sparse")
+		}
+		if b.Dim() != 2000 {
+			t.Fatalf("dim = %d", b.Dim())
+		}
+		if b.Sparse.NNZ() > 200 {
+			t.Fatalf("blob too dense: %d non-zeros", b.Sparse.NNZ())
+		}
+	}
+}
+
+func TestLSHTCDeterministic(t *testing.T) {
+	a := LSHTC(LSHTCConfig{Docs: 100, Seed: 7})
+	b := LSHTC(LSHTCConfig{Docs: 100, Seed: 7})
+	for i := range a.Blobs {
+		if a.Blobs[i].Sparse.NNZ() != b.Blobs[i].Sparse.NNZ() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestLSHTCSelectivities(t *testing.T) {
+	d := LSHTC(LSHTCConfig{Docs: 2000, Seed: 2})
+	for k := 0; k < d.NumCategories(); k++ {
+		s := d.Selectivity(k)
+		if s < 0.005 || s > 0.35 {
+			t.Errorf("category %d selectivity %v out of expected range", k, s)
+		}
+	}
+}
+
+func TestLSHTCLinearlySeparable(t *testing.T) {
+	// The defining property: FH+SVM must achieve high accuracy and useful
+	// reduction on a category query.
+	d := LSHTC(LSHTCConfig{Docs: 2000, Seed: 3})
+	set := d.SetFor(0)
+	rng := mathx.NewRNG(4)
+	train, val, test := set.Split(rng, 0.6, 0.2)
+	pp, err := core.Train("cat=0", train, val, core.TrainConfig{Approach: "FH+SVM", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.Evaluate(pp, test, 0.95)
+	if m.Accuracy < 0.85 || m.Reduction < 0.4 {
+		t.Fatalf("FH+SVM on LSHTC: accuracy=%v reduction=%v", m.Accuracy, m.Reduction)
+	}
+}
+
+func TestCOCOShape(t *testing.T) {
+	d := COCO(1)
+	if len(d.Blobs) != 3000 || d.NumCategories() != 24 {
+		t.Fatalf("items=%d cats=%d", len(d.Blobs), d.NumCategories())
+	}
+	if d.Blobs[0].Dim() != 96 || d.Blobs[0].IsSparse() {
+		t.Fatal("COCO blobs must be dense dim 96")
+	}
+}
+
+func TestCOCOSelectivityTargets(t *testing.T) {
+	d := COCO(2)
+	for k := 0; k < d.NumCategories(); k++ {
+		s := d.Selectivity(k)
+		if s < 0.03 || s > 0.3 {
+			t.Errorf("category %d selectivity %v out of range", k, s)
+		}
+	}
+}
+
+func TestImageNetSharesClassesWithCOCO(t *testing.T) {
+	// Cross-training requirement: the two datasets must describe the same
+	// classes, so a DNN trained on COCO-like class k should score
+	// ImageNet-like class-k positives above negatives on average.
+	coco := COCO(3)
+	inet := ImageNet(3)
+	if coco.NumCategories() != inet.NumCategories() {
+		t.Fatal("category counts differ")
+	}
+	set := coco.SetFor(1)
+	rng := mathx.NewRNG(6)
+	train, val, _ := set.Split(rng, 0.6, 0.2)
+	pp, err := core.Train("cat=1", train, val, core.TrainConfig{
+		Approach: "DNN", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := inet.SetFor(1)
+	var posMean, negMean float64
+	var pos, neg int
+	for i, b := range target.Blobs {
+		s := pp.Score(b)
+		if target.Labels[i] {
+			posMean += s
+			pos++
+		} else {
+			negMean += s
+			neg++
+		}
+	}
+	posMean /= float64(pos)
+	negMean /= float64(neg)
+	if posMean <= negMean {
+		t.Fatalf("cross-domain scores do not separate: pos=%v neg=%v", posMean, negMean)
+	}
+}
+
+func TestSUNAttributeShape(t *testing.T) {
+	d := SUNAttribute(4)
+	if len(d.Blobs) != 2500 || d.NumCategories() != 30 {
+		t.Fatalf("items=%d cats=%d", len(d.Blobs), d.NumCategories())
+	}
+	if d.Blobs[0].Dim() != 64 {
+		t.Fatalf("dim = %d", d.Blobs[0].Dim())
+	}
+}
+
+func TestUCFShapeAndSingleLabel(t *testing.T) {
+	d := UCF101(UCFConfig{Clips: 1000, Seed: 5})
+	if d.NumCategories() != 20 {
+		t.Fatalf("cats = %d", d.NumCategories())
+	}
+	// Every clip belongs to exactly one activity.
+	for i := range d.Blobs {
+		n := 0
+		for k := 0; k < d.NumCategories(); k++ {
+			if d.Members[k][i] {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("clip %d has %d activities", i, n)
+		}
+	}
+}
+
+func TestSetForPanicsOutOfRange(t *testing.T) {
+	d := UCF101(UCFConfig{Clips: 50, Seed: 6})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.SetFor(99)
+}
+
+func TestTrafficAttributes(t *testing.T) {
+	rows := Traffic(TrafficConfig{Rows: 2000, Seed: 7})
+	if len(rows) != 2000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, b := range rows[:50] {
+		if b.Dim() != 32 {
+			t.Fatalf("traffic dim = %d", b.Dim())
+		}
+		for _, col := range TrafficColumns {
+			if _, ok := b.TruthVal(col); !ok {
+				t.Fatalf("missing attribute %q", col)
+			}
+		}
+		s, _ := b.TruthVal("s")
+		if s < 0 || s > 80 {
+			t.Fatalf("speed out of range: %v", s)
+		}
+	}
+}
+
+func TestTrafficSelectivities(t *testing.T) {
+	rows := Traffic(TrafficConfig{Rows: 20000, Seed: 8})
+	sel := func(pred string) float64 {
+		set, err := TrafficSet(rows, query.MustParse(pred))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set.Selectivity()
+	}
+	// Calibration targets from Tables 9-10 (±0.07 tolerance).
+	cases := []struct {
+		pred string
+		want float64
+	}{
+		{"t in {SUV, van}", 0.41},
+		{"c!=white", 0.67},
+		{"s>60 & s<65", 0.05},
+	}
+	for _, c := range cases {
+		got := sel(c.pred)
+		if math.Abs(got-c.want) > 0.07 {
+			t.Errorf("selectivity(%q) = %v, want ~%v", c.pred, got, c.want)
+		}
+	}
+	// The 4-clause Q20-style predicate must be rare.
+	if got := sel("t=SUV & c=red & i=pt335 & o=pt211"); got > 0.02 {
+		t.Errorf("Q20 selectivity = %v, want <= 0.02", got)
+	}
+}
+
+func TestTrafficValueConversions(t *testing.T) {
+	rows := Traffic(TrafficConfig{Rows: 10, Seed: 9})
+	b := rows[0]
+	v, err := TrafficValue(b, "t")
+	if err != nil || v.IsNum {
+		t.Fatalf("t value = %v err=%v", v, err)
+	}
+	v, err = TrafficValue(b, "s")
+	if err != nil || !v.IsNum {
+		t.Fatalf("s value = %v err=%v", v, err)
+	}
+	if _, err := TrafficValue(b, "nope"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, err := TrafficValue(blob.Blob{}, "t"); err == nil {
+		t.Fatal("blob without truth should error")
+	}
+}
+
+func TestTrafficSetLabels(t *testing.T) {
+	rows := Traffic(TrafficConfig{Rows: 1000, Seed: 10})
+	set, err := TrafficSet(rows, query.MustParse("s>60"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range set.Blobs {
+		s, _ := b.TruthVal("s")
+		if set.Labels[i] != (s > 60) {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+}
+
+func TestTrafficPPLearnable(t *testing.T) {
+	// The defining property: an SVM PP for a type clause achieves useful
+	// reduction with high accuracy (§8.2: 32 SVM PPs, reductions 11-60%).
+	rows := Traffic(TrafficConfig{Rows: 4000, Seed: 11})
+	set, err := TrafficSet(rows, query.MustParse("t=SUV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, test := set.Split(mathx.NewRNG(12), 0.6, 0.2)
+	pp, err := core.Train("t=SUV", train, val, core.TrainConfig{Approach: "Raw+SVM", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.Evaluate(pp, test, 0.95)
+	if m.Accuracy < 0.85 {
+		t.Fatalf("traffic PP accuracy = %v", m.Accuracy)
+	}
+	if m.Reduction < 0.15 {
+		t.Fatalf("traffic PP reduction = %v, want >= 0.15", m.Reduction)
+	}
+}
+
+func TestTrafficDomains(t *testing.T) {
+	d := TrafficDomains()
+	if len(d["t"]) != 4 || len(d["c"]) != 5 || len(d["i"]) != 6 || len(d["o"]) != 6 {
+		t.Fatalf("domains = %v", d)
+	}
+	if len(d["s"]) != 17 {
+		t.Fatalf("speed domain = %d values", len(d["s"]))
+	}
+}
+
+func TestCoralMostlyEmpty(t *testing.T) {
+	v := Coral(CoralConfig{Frames: 5000, Seed: 14})
+	if v.Name != "coral" || len(v.Frames) != 5000 {
+		t.Fatalf("bad stream: %s %d", v.Name, len(v.Frames))
+	}
+	pos := 0
+	for _, h := range v.HasObject {
+		if h {
+			pos++
+		}
+	}
+	frac := float64(pos) / float64(len(v.HasObject))
+	if frac > 0.05 || frac == 0 {
+		t.Fatalf("coral object fraction = %v, want rare but non-zero", frac)
+	}
+}
+
+func TestSquareBusierThanCoral(t *testing.T) {
+	c := Coral(CoralConfig{Frames: 5000, Seed: 15})
+	s := Square(CoralConfig{Frames: 5000, Seed: 15})
+	count := func(v *VideoStream) int {
+		n := 0
+		for _, h := range v.HasObject {
+			if h {
+				n++
+			}
+		}
+		return n
+	}
+	if count(s) <= count(c) {
+		t.Fatalf("square (%d) should be busier than coral (%d)", count(s), count(c))
+	}
+}
+
+func TestCoralObjectPersistence(t *testing.T) {
+	v := Coral(CoralConfig{Frames: 20000, Seed: 16})
+	// Count run lengths of object presence; mean should exceed 3 frames.
+	var runs []int
+	run := 0
+	for _, h := range v.HasObject {
+		if h {
+			run++
+		} else if run > 0 {
+			runs = append(runs, run)
+			run = 0
+		}
+	}
+	if len(runs) == 0 {
+		t.Skip("no objects in draw")
+	}
+	total := 0
+	for _, r := range runs {
+		total += r
+	}
+	if mean := float64(total) / float64(len(runs)); mean < 3 {
+		t.Fatalf("mean object run length = %v, want >= 3 (frame redundancy)", mean)
+	}
+}
+
+func TestCoralObjectBrightensPixels(t *testing.T) {
+	v := Coral(CoralConfig{Frames: 20000, Seed: 17})
+	// Mean relevant-area deviation from background must be larger on
+	// object frames.
+	dev := func(f blob.Blob) float64 {
+		relevantW := v.Width - v.MaskCols
+		sum := 0.0
+		n := 0
+		px := f.Dense
+		for y := 0; y < v.Height; y++ {
+			for x := 0; x < relevantW; x++ {
+				i := y*v.Width + x
+				sum += math.Abs(px[i] - v.Background[i])
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	var objDev, emptyDev float64
+	var objN, emptyN int
+	for i, f := range v.Frames {
+		if v.HasObject[i] {
+			objDev += dev(f)
+			objN++
+		} else if emptyN < 500 {
+			emptyDev += dev(f)
+			emptyN++
+		}
+	}
+	if objN == 0 {
+		t.Skip("no objects in draw")
+	}
+	if objDev/float64(objN) <= emptyDev/float64(emptyN) {
+		t.Fatal("object frames do not deviate more from background")
+	}
+}
+
+func TestCoralMask(t *testing.T) {
+	v := Coral(CoralConfig{Frames: 10, Seed: 18})
+	if !v.InMask(v.Width - 1) {
+		t.Fatal("rightmost column should be masked")
+	}
+	if v.InMask(0) {
+		t.Fatal("leftmost column should not be masked")
+	}
+}

@@ -1,0 +1,205 @@
+package dimred
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probpred/internal/blob"
+	"probpred/internal/mathx"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity{Dim: 3}
+	b := blob.FromDense(0, mathx.Vec{1, 2, 3})
+	out := id.Reduce(b)
+	if len(out) != 3 || out[1] != 2 {
+		t.Fatalf("Identity.Reduce = %v", out)
+	}
+	if id.OutDim() != 3 || id.Name() != "Raw" {
+		t.Fatal("Identity metadata wrong")
+	}
+}
+
+func TestIdentitySparse(t *testing.T) {
+	id := Identity{Dim: 4}
+	b := blob.FromSparse(0, mathx.NewSparse(4, []int{2}, []float64{5}))
+	out := id.Reduce(b)
+	if out[2] != 5 || out[0] != 0 {
+		t.Fatalf("Identity sparse = %v", out)
+	}
+}
+
+// TestPCARecoversDominantDirection: data varying along (1,1)/√2 with tiny
+// noise must yield a first component aligned with that direction.
+func TestPCARecoversDominantDirection(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	var sample []blob.Blob
+	for i := 0; i < 200; i++ {
+		tt := rng.NormFloat64() * 10
+		noise := rng.NormFloat64() * 0.01
+		sample = append(sample, blob.FromDense(i, mathx.Vec{tt + noise, tt - noise}))
+	}
+	p, err := FitPCA(sample, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := p.basis.Row(0)
+	// Expect |dir| ≈ (±1/√2, ±1/√2).
+	if math.Abs(math.Abs(dir[0])-1/math.Sqrt2) > 0.01 || math.Abs(math.Abs(dir[1])-1/math.Sqrt2) > 0.01 {
+		t.Fatalf("first PC = %v, want ±(0.707, 0.707)", dir)
+	}
+}
+
+func TestPCACentersData(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	var sample []blob.Blob
+	for i := 0; i < 100; i++ {
+		sample = append(sample, blob.FromDense(i, mathx.Vec{100 + rng.NormFloat64(), 50 + rng.NormFloat64()}))
+	}
+	p, err := FitPCA(sample, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean blob should project near the origin.
+	mean := blob.FromDense(0, mathx.CloneVec(p.mean))
+	proj := p.Reduce(mean)
+	for _, v := range proj {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("mean projects to %v, want 0", proj)
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1, mathx.NewRNG(1)); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+	s := []blob.Blob{blob.FromDense(0, mathx.Vec{1})}
+	if _, err := FitPCA(s, 0, mathx.NewRNG(1)); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+}
+
+func TestPCAOutDimAndCost(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	var sample []blob.Blob
+	for i := 0; i < 20; i++ {
+		sample = append(sample, blob.FromDense(i, mathx.Vec{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}))
+	}
+	p, err := FitPCA(sample, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OutDim() != 2 || p.Name() != "PCA" || p.Cost() <= 0 {
+		t.Fatalf("PCA metadata wrong: dim=%d name=%s cost=%v", p.OutDim(), p.Name(), p.Cost())
+	}
+}
+
+func TestFeatureHashDeterministic(t *testing.T) {
+	f := NewFeatureHash(8, 42)
+	b := blob.FromSparse(0, mathx.NewSparse(100, []int{3, 50, 99}, []float64{1, 2, 3}))
+	a1 := f.Reduce(b)
+	a2 := f.Reduce(b)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("FeatureHash not deterministic")
+		}
+	}
+}
+
+func TestFeatureHashPreservesMass(t *testing.T) {
+	// Sum of |output| can only shrink via collisions; with a single non-zero
+	// there are none, so magnitude is preserved exactly.
+	f := NewFeatureHash(16, 7)
+	b := blob.FromSparse(0, mathx.NewSparse(1000, []int{123}, []float64{2.5}))
+	out := f.Reduce(b)
+	sum := 0.0
+	for _, v := range out {
+		sum += math.Abs(v)
+	}
+	if sum != 2.5 {
+		t.Fatalf("mass = %v, want 2.5", sum)
+	}
+}
+
+func TestFeatureHashDenseSkipsZeros(t *testing.T) {
+	f := NewFeatureHash(4, 1)
+	dense := f.Reduce(blob.FromDense(0, mathx.Vec{0, 0, 3, 0}))
+	sparse := f.Reduce(blob.FromSparse(0, mathx.NewSparse(4, []int{2}, []float64{3})))
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("dense %v != sparse %v", dense, sparse)
+		}
+	}
+}
+
+func TestFeatureHashPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFeatureHash(0, 1)
+}
+
+// Property: hashing is linear — Reduce(a+b) == Reduce(a)+Reduce(b) for
+// sparse vectors over disjoint support unions (it is linear in general too).
+func TestFeatureHashLinearQuick(t *testing.T) {
+	f := NewFeatureHash(32, 99)
+	prop := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		dim := 200
+		mk := func() mathx.Vec {
+			v := make(mathx.Vec, dim)
+			for i := 0; i < 10; i++ {
+				v[r.Intn(dim)] = r.NormFloat64()
+			}
+			return v
+		}
+		a, b := mk(), mk()
+		sum := mathx.CloneVec(a)
+		mathx.Axpy(1, b, sum)
+		ra := f.Reduce(blob.FromDense(0, a))
+		rb := f.Reduce(blob.FromDense(0, b))
+		rsum := f.Reduce(blob.FromDense(0, sum))
+		for i := range rsum {
+			if math.Abs(rsum[i]-(ra[i]+rb[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property from Weinberger et al.: the hashed inner product is an unbiased
+// estimator of the original inner product. We check it is at least strongly
+// correlated for random sparse vectors.
+func TestFeatureHashInnerProductApprox(t *testing.T) {
+	f := NewFeatureHash(512, 5)
+	r := mathx.NewRNG(8)
+	dim := 5000
+	var errSum, magSum float64
+	for trial := 0; trial < 50; trial++ {
+		mk := func() mathx.Sparse {
+			idx := make([]int, 20)
+			val := make([]float64, 20)
+			for i := range idx {
+				idx[i] = r.Intn(dim)
+				val[i] = r.NormFloat64()
+			}
+			return mathx.NewSparse(dim, idx, val)
+		}
+		a, b := mk(), mk()
+		trueDot := mathx.Dot(a.Dense(), b.Dense())
+		hashDot := mathx.Dot(f.Reduce(blob.FromSparse(0, a)), f.Reduce(blob.FromSparse(0, b)))
+		errSum += math.Abs(trueDot - hashDot)
+		magSum += math.Abs(trueDot) + 1
+	}
+	if errSum/magSum > 0.5 {
+		t.Fatalf("hashed inner products too far off: rel err %v", errSum/magSum)
+	}
+}

@@ -1,0 +1,41 @@
+package dimred
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"probpred/internal/mathx"
+)
+
+// pcaGob is the serialized form of a fitted PCA reducer.
+type pcaGob struct {
+	Mean  mathx.Vec
+	Rows  int
+	Cols  int
+	Data  []float64
+	Scale mathx.Vec
+}
+
+// GobEncode implements gob.GobEncoder.
+func (p *PCA) GobEncode() ([]byte, error) {
+	g := pcaGob{Mean: p.mean, Rows: p.basis.Rows, Cols: p.basis.Cols,
+		Data: p.basis.Data, Scale: p.scale}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, fmt.Errorf("dimred: encoding PCA: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *PCA) GobDecode(data []byte) error {
+	var g pcaGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("dimred: decoding PCA: %w", err)
+	}
+	p.mean = g.Mean
+	p.basis = &mathx.Mat{Rows: g.Rows, Cols: g.Cols, Data: g.Data}
+	p.scale = g.Scale
+	return nil
+}

@@ -1,0 +1,79 @@
+package dimred
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/mathx"
+)
+
+func TestPCAGobRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(30)
+	var sample []blob.Blob
+	for i := 0; i < 100; i++ {
+		sample = append(sample, blob.FromDense(i, mathx.Vec{
+			rng.NormFloat64() * 3, rng.NormFloat64(), rng.NormFloat64() * 0.1,
+		}))
+	}
+	p, err := FitPCA(sample, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	var loaded PCA
+	if err := gob.NewDecoder(&buf).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sample[:20] {
+		want := p.Reduce(b)
+		got := loaded.Reduce(b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatal("projection mismatch after round trip")
+			}
+		}
+	}
+	if loaded.OutDim() != p.OutDim() || loaded.Cost() != p.Cost() {
+		t.Fatal("metadata mismatch")
+	}
+}
+
+func TestPCAGobDecodeGarbage(t *testing.T) {
+	var p PCA
+	if err := p.GobDecode([]byte("nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWhiteningFloorSuppressesNoiseComponents(t *testing.T) {
+	// Data with one dominant direction and one near-noise direction: the
+	// whitened projection must NOT amplify the noise component to the same
+	// scale as the signal.
+	rng := mathx.NewRNG(31)
+	var sample []blob.Blob
+	for i := 0; i < 400; i++ {
+		sample = append(sample, blob.FromDense(i, mathx.Vec{
+			rng.NormFloat64() * 10, rng.NormFloat64() * 0.01,
+		}))
+	}
+	p, err := FitPCA(sample, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig, noise float64
+	for _, b := range sample {
+		v := p.Reduce(b)
+		sig += v[0] * v[0]
+		noise += v[1] * v[1]
+	}
+	// Without the floor both variances would be ~1; with it the noise
+	// component stays far smaller.
+	if noise >= sig/10 {
+		t.Fatalf("noise component not suppressed: sig=%v noise=%v", sig, noise)
+	}
+}

@@ -1,0 +1,160 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"probpred/internal/mathx"
+)
+
+// xorData is the canonical non-linearly-separable problem.
+func xorData(n int, seed uint64) ([]mathx.Vec, []bool) {
+	rng := mathx.NewRNG(seed)
+	var xs []mathx.Vec
+	var ys []bool
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		xs = append(xs, mathx.Vec{a, b})
+		ys = append(ys, a*b > 0)
+	}
+	return xs, ys
+}
+
+func accuracy(m *Model, xs []mathx.Vec, ys []bool) float64 {
+	correct := 0
+	for i, x := range xs {
+		if (m.Score(x) > 0) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+func TestTrainXOR(t *testing.T) {
+	xs, ys := xorData(600, 1)
+	m, err := Train(xs, ys, Config{Hidden: []int{16, 16}, Epochs: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, tys := xorData(300, 3)
+	if acc := accuracy(m, txs, tys); acc < 0.9 {
+		t.Fatalf("XOR test accuracy = %v, want >= 0.9 (must beat any linear model)", acc)
+	}
+}
+
+func TestTrainLinear(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	var xs []mathx.Vec
+	var ys []bool
+	for i := 0; i < 300; i++ {
+		x := mathx.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+x[1] > 0)
+	}
+	m, err := Train(xs, ys, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, xs, ys); acc < 0.95 {
+		t.Fatalf("linear accuracy = %v", acc)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	xs, ys := xorData(100, 6)
+	m1, err := Train(xs, ys, Config{Epochs: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(xs, ys, Config{Epochs: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := mathx.Vec{0.3, -0.4}
+	if m1.Score(probe) != m2.Score(probe) {
+		t.Fatal("DNN training not deterministic")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	xs, ys := xorData(100, 8)
+	m1, _ := Train(xs, ys, Config{Epochs: 2, Seed: 1})
+	m2, _ := Train(xs, ys, Config{Epochs: 2, Seed: 2})
+	probe := mathx.Vec{0.3, -0.4}
+	if m1.Score(probe) == m2.Score(probe) {
+		t.Fatal("different seeds produced identical models")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	if _, err := Train([]mathx.Vec{{1}}, []bool{true, false}, Config{}); err == nil {
+		t.Fatal("expected error for mismatch")
+	}
+	if _, err := Train([]mathx.Vec{{1}, {2}}, []bool{true, true}, Config{}); err == nil {
+		t.Fatal("expected error for single class")
+	}
+}
+
+func TestParamsCount(t *testing.T) {
+	xs, ys := xorData(50, 9)
+	m, err := Train(xs, ys, Config{Hidden: []int{8}, Epochs: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layers: 2->8 (2*8 + 8) and 8->1 (8 + 1) = 24 + 9 = 33.
+	if m.Params() != 33 {
+		t.Fatalf("Params = %d, want 33", m.Params())
+	}
+	if m.Cost() <= 0 || m.Name() != "DNN" {
+		t.Fatal("bad metadata")
+	}
+}
+
+func TestScoreFinite(t *testing.T) {
+	xs, ys := xorData(200, 11)
+	m, err := Train(xs, ys, Config{Epochs: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if s := m.Score(x); math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("non-finite score %v", s)
+		}
+	}
+}
+
+func TestClassWeightDefaultsFromImbalance(t *testing.T) {
+	// 5% positive: positives should still be scored higher on average than
+	// the base rate would suggest, thanks to automatic class weighting.
+	rng := mathx.NewRNG(13)
+	var xs []mathx.Vec
+	var ys []bool
+	for i := 0; i < 800; i++ {
+		x := mathx.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0] > 1.6)
+	}
+	m, err := Train(xs, ys, Config{Epochs: 20, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, p := 0, 0
+	for i, x := range xs {
+		if ys[i] {
+			p++
+			if m.Score(x) > 0 {
+				tp++
+			}
+		}
+	}
+	if p == 0 {
+		t.Skip("degenerate draw")
+	}
+	if recall := float64(tp) / float64(p); recall < 0.6 {
+		t.Fatalf("recall on imbalanced data = %v, want >= 0.6", recall)
+	}
+}

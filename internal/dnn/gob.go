@@ -1,0 +1,47 @@
+package dnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// layerGob is the serialized form of one fully connected layer (momentum
+// buffers are training state and are not persisted).
+type layerGob struct {
+	In, Out int
+	W, B    []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	layers := make([]layerGob, len(m.layers))
+	for i, l := range m.layers {
+		layers[i] = layerGob{In: l.in, Out: l.out, W: l.w, B: l.b}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(layers); err != nil {
+		return nil, fmt.Errorf("dnn: encoding model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var layers []layerGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&layers); err != nil {
+		return fmt.Errorf("dnn: decoding model: %w", err)
+	}
+	m.layers = m.layers[:0]
+	m.params = 0
+	for _, g := range layers {
+		l := &layer{
+			in: g.In, out: g.Out, w: g.W, b: g.B,
+			vw: make([]float64, len(g.W)),
+			vb: make([]float64, len(g.B)),
+		}
+		m.layers = append(m.layers, l)
+		m.params += len(l.w) + len(l.b)
+	}
+	return nil
+}

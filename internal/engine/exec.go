@@ -1,0 +1,111 @@
+package engine
+
+import "fmt"
+
+// Stats accumulates virtual cost and cardinality accounting during a run.
+type Stats struct {
+	// Cluster is the total cluster processing time in virtual milliseconds
+	// (the paper's "cluster processing time": overall resource usage).
+	Cluster float64
+	// OpCost maps operator name to its accumulated virtual cost.
+	OpCost map[string]float64
+	// RowsIn / RowsOut record per-operator cardinalities.
+	RowsIn, RowsOut map[string]int
+}
+
+func newStats() *Stats {
+	return &Stats{
+		OpCost:  map[string]float64{},
+		RowsIn:  map[string]int{},
+		RowsOut: map[string]int{},
+	}
+}
+
+func (s *Stats) charge(op string, cost float64) {
+	s.Cluster += cost
+	s.OpCost[op] += cost
+}
+
+// Plan is a linear chain of operators, source first.
+type Plan struct{ Ops []Operator }
+
+// Config controls the execution environment model.
+type Config struct {
+	// Parallelism is the number of cluster partitions. Zero selects 16.
+	Parallelism int
+	// Workers sets how many goroutines execute the row-parallel operators
+	// (Process, PPFilter). It affects only wall-clock execution of the
+	// simulator, never results or virtual costs. Processors must be safe
+	// for concurrent Apply when Workers > 1. Zero or one is sequential.
+	Workers int
+	// StageOverheadMS is the fixed overhead charged to latency per stage:
+	// job-wave scheduling, shuffle/materialization setup, and stragglers.
+	// Data-parallel clusters pay this per serialized stage regardless of
+	// stage size, which is why SortP's serialized predicate stages lose
+	// latency even while saving resources (§8.2). Zero selects 15000
+	// virtual ms (~15 s per stage, typical for a Cosmos-style batch stage).
+	StageOverheadMS float64
+}
+
+func (c *Config) fill() {
+	if c.Parallelism == 0 {
+		c.Parallelism = 16
+	}
+	if c.StageOverheadMS == 0 {
+		c.StageOverheadMS = 15000
+	}
+}
+
+// Result is the outcome of running a plan.
+type Result struct {
+	// Rows is the query output.
+	Rows []Row
+	// ClusterTime is total resource usage in virtual milliseconds.
+	ClusterTime float64
+	// Latency is the modeled end-to-end time in virtual milliseconds:
+	// per-stage work divides across partitions and pipelines within a
+	// stage, while stage boundaries serialize and add scheduling overhead.
+	Latency float64
+	// Stages is the number of pipeline stages in the plan.
+	Stages int
+	// Stats carries per-operator detail.
+	Stats *Stats
+}
+
+// Run executes the plan and returns rows plus cost accounting. The first
+// operator must be a source (it receives a nil input batch).
+func Run(p Plan, cfg Config) (*Result, error) {
+	cfg.fill()
+	if len(p.Ops) == 0 {
+		return nil, fmt.Errorf("engine: empty plan")
+	}
+	st := newStats()
+	var rows []Row
+	// stageCosts[i] accumulates the virtual cost of stage i.
+	stageCosts := []float64{0}
+	for _, op := range p.Ops {
+		if op.StageBoundary() {
+			stageCosts = append(stageCosts, 0)
+		}
+		st.RowsIn[op.Name()] += len(rows)
+		before := st.OpCost[op.Name()]
+		out, err := runOp(op, rows, st, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		stageCosts[len(stageCosts)-1] += st.OpCost[op.Name()] - before
+		st.RowsOut[op.Name()] += len(out)
+		rows = out
+	}
+	latency := 0.0
+	for _, c := range stageCosts {
+		latency += c/float64(cfg.Parallelism) + cfg.StageOverheadMS
+	}
+	return &Result{
+		Rows:        rows,
+		ClusterTime: st.Cluster,
+		Latency:     latency,
+		Stages:      len(stageCosts),
+		Stats:       st,
+	}, nil
+}

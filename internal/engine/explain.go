@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a plan as an indented operator listing with stage
+// boundaries marked — the EXPLAIN of this mini-engine.
+func Explain(p Plan) string {
+	var b strings.Builder
+	stage := 1
+	fmt.Fprintf(&b, "stage %d:\n", stage)
+	for _, op := range p.Ops {
+		if op.StageBoundary() {
+			stage++
+			fmt.Fprintf(&b, "stage %d:\n", stage)
+		}
+		fmt.Fprintf(&b, "  %s\n", op.Name())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Summary renders a result's per-operator cardinalities and virtual costs
+// in plan order — what an operator-level profiler would show.
+func (r *Result) Summary(p Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %10s %10s %14s\n", "operator", "rows in", "rows out", "cost (vms)")
+	for _, op := range p.Ops {
+		name := op.Name()
+		fmt.Fprintf(&b, "%-40s %10d %10d %14.1f\n",
+			truncate(name, 40), r.Stats.RowsIn[name], r.Stats.RowsOut[name], r.Stats.OpCost[name])
+	}
+	fmt.Fprintf(&b, "total: cluster %.0f vms, latency %.0f vms, %d stages",
+		r.ClusterTime, r.Latency, r.Stages)
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

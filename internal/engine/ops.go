@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"probpred/internal/blob"
+	"probpred/internal/query"
+)
+
+// Operator is one node of a linear physical plan. Execution is
+// operator-at-a-time (each operator consumes its whole input batch), which
+// keeps the virtual cost accounting exact and deterministic.
+type Operator interface {
+	// Name identifies the operator in plans and statistics.
+	Name() string
+	// StageBoundary reports whether the operator forces a shuffle/barrier
+	// (reducers, combiners, explicit barriers). Stage boundaries serialize
+	// the latency model.
+	StageBoundary() bool
+	// Exec consumes the input batch, charges virtual cost to st, and
+	// produces the output batch.
+	Exec(in []Row, st *Stats) ([]Row, error)
+}
+
+// scanCost is the virtual per-row ingestion cost of a scan.
+const scanCost = 0.05
+
+// Scan is the source operator: it turns raw blobs into rows.
+type Scan struct{ Blobs []blob.Blob }
+
+// Name implements Operator.
+func (s *Scan) Name() string { return "Scan" }
+
+// StageBoundary implements Operator.
+func (s *Scan) StageBoundary() bool { return false }
+
+// Exec implements Operator; it ignores its input.
+func (s *Scan) Exec(_ []Row, st *Stats) ([]Row, error) {
+	out := make([]Row, len(s.Blobs))
+	for i, b := range s.Blobs {
+		out[i] = NewRow(b)
+	}
+	st.charge(s.Name(), scanCost*float64(len(out)))
+	return out, nil
+}
+
+// Process applies a Processor UDF to every row.
+type Process struct{ P Processor }
+
+// Name implements Operator.
+func (p *Process) Name() string { return p.P.Name() }
+
+// StageBoundary implements Operator.
+func (p *Process) StageBoundary() bool { return false }
+
+// Exec implements Operator.
+func (p *Process) Exec(in []Row, st *Stats) ([]Row, error) {
+	var out []Row
+	for _, r := range in {
+		rows, err := p.P.Apply(r)
+		if err != nil {
+			return nil, fmt.Errorf("engine: processor %s: %w", p.P.Name(), err)
+		}
+		out = append(out, rows...)
+	}
+	st.charge(p.Name(), p.P.Cost()*float64(len(in)))
+	return out, nil
+}
+
+// selectCost is the virtual per-row cost of evaluating a relational
+// predicate over already-materialized columns (cheap compared to UDFs).
+const selectCost = 0.01
+
+// Select filters rows by a predicate over materialized columns (the σ
+// operators of Figure 1).
+type Select struct{ Pred query.Pred }
+
+// Name implements Operator.
+func (s *Select) Name() string { return "σ[" + s.Pred.String() + "]" }
+
+// StageBoundary implements Operator.
+func (s *Select) StageBoundary() bool { return false }
+
+// Exec implements Operator.
+func (s *Select) Exec(in []Row, st *Stats) ([]Row, error) {
+	var out []Row
+	for _, r := range in {
+		ok, err := s.Pred.Eval(r.Lookup)
+		if err != nil {
+			return nil, fmt.Errorf("engine: select: %w", err)
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	st.charge(s.Name(), selectCost*float64(len(in)))
+	return out, nil
+}
+
+// BlobFilter is the hook through which injected probabilistic predicates
+// run inside a plan: it tests a raw blob and reports the virtual cost it
+// incurred (which depends on short-circuit evaluation order inside a PP
+// expression, §6.2).
+type BlobFilter interface {
+	Name() string
+	// Test reports whether the blob passes and the virtual cost spent.
+	Test(b blob.Blob) (bool, float64)
+}
+
+// PPFilter applies a PP expression directly on each row's raw blob, before
+// any UDF (Figure 2).
+type PPFilter struct{ F BlobFilter }
+
+// Name implements Operator.
+func (p *PPFilter) Name() string { return "PP[" + p.F.Name() + "]" }
+
+// StageBoundary implements Operator.
+func (p *PPFilter) StageBoundary() bool { return false }
+
+// Exec implements Operator.
+func (p *PPFilter) Exec(in []Row, st *Stats) ([]Row, error) {
+	var out []Row
+	total := 0.0
+	for _, r := range in {
+		ok, cost := p.F.Test(r.Blob)
+		total += cost
+		if ok {
+			out = append(out, r)
+		}
+	}
+	st.charge(p.Name(), total)
+	return out, nil
+}
+
+// ComputedCol defines a projection-created column (π_{f(D)=d} in A.4).
+type ComputedCol struct {
+	Name string
+	Cost float64
+	Fn   func(Row) (query.Value, error)
+}
+
+// Project renames and/or drops columns and computes new ones.
+type Project struct {
+	// Rename maps old column names to new ones (π_{Ca→Cb}).
+	Rename map[string]string
+	// Drop lists columns to remove.
+	Drop []string
+	// Compute lists new columns to create.
+	Compute []ComputedCol
+}
+
+// Name implements Operator.
+func (p *Project) Name() string { return "π" }
+
+// StageBoundary implements Operator.
+func (p *Project) StageBoundary() bool { return false }
+
+// Exec implements Operator.
+func (p *Project) Exec(in []Row, st *Stats) ([]Row, error) {
+	drop := map[string]bool{}
+	for _, d := range p.Drop {
+		drop[d] = true
+	}
+	out := make([]Row, 0, len(in))
+	cost := selectCost
+	for _, c := range p.Compute {
+		cost += c.Cost
+	}
+	for _, r := range in {
+		cols := make(map[string]query.Value, len(r.Cols))
+		for k, v := range r.Cols {
+			if drop[k] {
+				continue
+			}
+			if nk, ok := p.Rename[k]; ok {
+				k = nk
+			}
+			cols[k] = v
+		}
+		nr := Row{Blob: r.Blob, Cols: cols}
+		for _, c := range p.Compute {
+			v, err := c.Fn(nr)
+			if err != nil {
+				return nil, fmt.Errorf("engine: project computing %q: %w", c.Name, err)
+			}
+			nr.Cols[c.Name] = v
+		}
+		out = append(out, nr)
+	}
+	st.charge(p.Name(), cost*float64(len(in)))
+	return out, nil
+}
+
+// joinCost is the virtual per-probe cost of a hash join lookup.
+const joinCost = 0.02
+
+// FKJoin is a foreign-key equijoin: each input (fact) row matches at most
+// one row of the dimension table, whose key column is unique (the R ⋈_D S
+// of A.4's pushdown rule). Unmatched rows are dropped (inner join).
+type FKJoin struct {
+	// LeftKey is the fact-side key column.
+	LeftKey string
+	// RightKey is the dimension-side key column (a primary key).
+	RightKey string
+	// Table is the dimension rowset.
+	Table []Row
+}
+
+// Name implements Operator.
+func (j *FKJoin) Name() string { return "⋈[" + j.LeftKey + "=" + j.RightKey + "]" }
+
+// StageBoundary implements Operator; a join requires a shuffle.
+func (j *FKJoin) StageBoundary() bool { return true }
+
+// Exec implements Operator.
+func (j *FKJoin) Exec(in []Row, st *Stats) ([]Row, error) {
+	build := make(map[string]Row, len(j.Table))
+	for _, r := range j.Table {
+		v, err := r.Get(j.RightKey)
+		if err != nil {
+			return nil, fmt.Errorf("engine: fk join build: %w", err)
+		}
+		key := v.String()
+		if _, dup := build[key]; dup {
+			return nil, fmt.Errorf("engine: fk join: duplicate primary key %q in dimension table", key)
+		}
+		build[key] = r
+	}
+	var out []Row
+	for _, r := range in {
+		v, err := r.Get(j.LeftKey)
+		if err != nil {
+			return nil, fmt.Errorf("engine: fk join probe: %w", err)
+		}
+		dim, ok := build[v.String()]
+		if !ok {
+			continue
+		}
+		nr := r
+		for k, dv := range dim.Cols {
+			if k == j.RightKey {
+				continue
+			}
+			nr = nr.With(k, dv)
+		}
+		out = append(out, nr)
+	}
+	st.charge(j.Name(), joinCost*float64(len(in)))
+	return out, nil
+}
+
+// GroupReduce applies a Reducer UDF per key group (a
+// partition-shuffle-aggregate, §4).
+type GroupReduce struct{ R Reducer }
+
+// Name implements Operator.
+func (g *GroupReduce) Name() string { return g.R.Name() }
+
+// StageBoundary implements Operator.
+func (g *GroupReduce) StageBoundary() bool { return true }
+
+// Exec implements Operator.
+func (g *GroupReduce) Exec(in []Row, st *Stats) ([]Row, error) {
+	groups := map[string][]Row{}
+	var keys []string
+	for _, r := range in {
+		k, err := g.R.Key(r)
+		if err != nil {
+			return nil, fmt.Errorf("engine: reducer %s key: %w", g.R.Name(), err)
+		}
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Strings(keys) // deterministic output order
+	var out []Row
+	for _, k := range keys {
+		rows, err := g.R.Reduce(k, groups[k])
+		if err != nil {
+			return nil, fmt.Errorf("engine: reducer %s: %w", g.R.Name(), err)
+		}
+		out = append(out, rows...)
+	}
+	st.charge(g.Name(), g.R.Cost()*float64(len(in)))
+	return out, nil
+}
+
+// Combine applies a Combiner UDF across two keyed rowsets (a custom join,
+// §4). The right side is provided as a static rowset.
+type Combine struct {
+	C        Combiner
+	Right    []Row
+	LeftKey  string
+	RightKey string
+}
+
+// Name implements Operator.
+func (c *Combine) Name() string { return c.C.Name() }
+
+// StageBoundary implements Operator.
+func (c *Combine) StageBoundary() bool { return true }
+
+// Exec implements Operator.
+func (c *Combine) Exec(in []Row, st *Stats) ([]Row, error) {
+	rights := map[string][]Row{}
+	for _, r := range c.Right {
+		v, err := r.Get(c.RightKey)
+		if err != nil {
+			return nil, fmt.Errorf("engine: combine right: %w", err)
+		}
+		rights[v.String()] = append(rights[v.String()], r)
+	}
+	lefts := map[string][]Row{}
+	var keys []string
+	for _, r := range in {
+		v, err := r.Get(c.LeftKey)
+		if err != nil {
+			return nil, fmt.Errorf("engine: combine left: %w", err)
+		}
+		k := v.String()
+		if _, seen := lefts[k]; !seen {
+			keys = append(keys, k)
+		}
+		lefts[k] = append(lefts[k], r)
+	}
+	sort.Strings(keys)
+	var out []Row
+	pairs := 0
+	for _, k := range keys {
+		r, ok := rights[k]
+		if !ok {
+			continue
+		}
+		rows, err := c.C.Combine(k, lefts[k], r)
+		if err != nil {
+			return nil, fmt.Errorf("engine: combiner %s: %w", c.C.Name(), err)
+		}
+		pairs += len(lefts[k]) + len(r)
+		out = append(out, rows...)
+	}
+	st.charge(c.Name(), c.C.Cost()*float64(pairs))
+	return out, nil
+}
+
+// Barrier is a no-op stage boundary; plan builders insert it to model
+// materialization points (e.g. SortP's serialized conditional stages, §8.2).
+type Barrier struct{ Label string }
+
+// Name implements Operator.
+func (b *Barrier) Name() string { return "Barrier[" + b.Label + "]" }
+
+// StageBoundary implements Operator.
+func (b *Barrier) StageBoundary() bool { return true }
+
+// Exec implements Operator.
+func (b *Barrier) Exec(in []Row, _ *Stats) ([]Row, error) { return in, nil }
+
+// topkCost is the virtual per-row cost of heap maintenance in TopK.
+const topkCost = 0.02
+
+// TopK keeps the K rows with the largest (or smallest) value of a numeric
+// column — the ORDER BY ... LIMIT tail of ranked-alert queries ("the ten
+// fastest speeding vehicles"). Output is sorted best-first. It is a stage
+// boundary: ranking requires seeing every row.
+type TopK struct {
+	// By is the numeric ranking column.
+	By string
+	// K is how many rows to keep.
+	K int
+	// Asc ranks ascending (smallest first) instead of descending.
+	Asc bool
+}
+
+// Name implements Operator.
+func (t *TopK) Name() string { return fmt.Sprintf("TopK[%s,%d]", t.By, t.K) }
+
+// StageBoundary implements Operator.
+func (t *TopK) StageBoundary() bool { return true }
+
+// Exec implements Operator.
+func (t *TopK) Exec(in []Row, st *Stats) ([]Row, error) {
+	if t.K <= 0 {
+		return nil, fmt.Errorf("engine: TopK requires K >= 1, got %d", t.K)
+	}
+	type keyed struct {
+		key float64
+		idx int // original position, for deterministic tie-breaks
+		row Row
+	}
+	rows := make([]keyed, 0, len(in))
+	for i, r := range in {
+		v, err := r.Get(t.By)
+		if err != nil {
+			return nil, fmt.Errorf("engine: TopK: %w", err)
+		}
+		if !v.IsNum {
+			return nil, fmt.Errorf("engine: TopK over non-numeric column %q", t.By)
+		}
+		rows = append(rows, keyed{key: v.Num, idx: i, row: r})
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].key != rows[b].key {
+			if t.Asc {
+				return rows[a].key < rows[b].key
+			}
+			return rows[a].key > rows[b].key
+		}
+		return rows[a].idx < rows[b].idx
+	})
+	if len(rows) > t.K {
+		rows = rows[:t.K]
+	}
+	out := make([]Row, len(rows))
+	for i, kr := range rows {
+		out[i] = kr.row
+	}
+	st.charge(t.Name(), topkCost*float64(len(in)))
+	return out, nil
+}

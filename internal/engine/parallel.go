@@ -1,0 +1,114 @@
+package engine
+
+import "sync"
+
+// Parallel execution: the virtual cost model already charges work as if it
+// ran on a cluster, but the simulator itself can also use real goroutines
+// for the row-parallel operators (Process, PPFilter) so that large streams
+// execute quickly on multi-core machines. Parallelism never changes
+// results, costs or row order — inputs are chunked, chunks run
+// concurrently, and outputs are concatenated in chunk order.
+//
+// Processors run under Workers > 1 must be safe for concurrent Apply calls
+// (the built-in UDFs are; see udf package notes).
+
+// runOp executes one operator, using the parallel path for row-parallel
+// operators when workers > 1.
+func runOp(op Operator, in []Row, st *Stats, workers int) ([]Row, error) {
+	if workers > 1 && len(in) >= 2*workers {
+		switch o := op.(type) {
+		case *Process:
+			return o.execParallel(in, st, workers)
+		case *PPFilter:
+			return o.execParallel(in, st, workers)
+		}
+	}
+	return op.Exec(in, st)
+}
+
+// chunkBounds splits n items into at most workers contiguous chunks.
+func chunkBounds(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	size := (n + workers - 1) / workers
+	var out [][2]int
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// execParallel applies the processor across chunks concurrently.
+func (p *Process) execParallel(in []Row, st *Stats, workers int) ([]Row, error) {
+	bounds := chunkBounds(len(in), workers)
+	results := make([][]Row, len(bounds))
+	errs := make([]error, len(bounds))
+	var wg sync.WaitGroup
+	for ci, b := range bounds {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			var out []Row
+			for _, r := range in[lo:hi] {
+				rows, err := p.P.Apply(r)
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				out = append(out, rows...)
+			}
+			results[ci] = out
+		}(ci, b[0], b[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []Row
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	st.charge(p.Name(), p.P.Cost()*float64(len(in)))
+	return out, nil
+}
+
+// execParallel tests the blob filter across chunks concurrently.
+func (p *PPFilter) execParallel(in []Row, st *Stats, workers int) ([]Row, error) {
+	bounds := chunkBounds(len(in), workers)
+	results := make([][]Row, len(bounds))
+	costs := make([]float64, len(bounds))
+	var wg sync.WaitGroup
+	for ci, b := range bounds {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			var out []Row
+			total := 0.0
+			for _, r := range in[lo:hi] {
+				ok, cost := p.F.Test(r.Blob)
+				total += cost
+				if ok {
+					out = append(out, r)
+				}
+			}
+			results[ci] = out
+			costs[ci] = total
+		}(ci, b[0], b[1])
+	}
+	wg.Wait()
+	var out []Row
+	total := 0.0
+	for i, r := range results {
+		out = append(out, r...)
+		total += costs[i]
+	}
+	st.charge(p.Name(), total)
+	return out, nil
+}

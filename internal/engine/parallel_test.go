@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/query"
+)
+
+// TestParallelExecutionMatchesSequential: same rows, same order, same
+// virtual costs at any worker count.
+func TestParallelExecutionMatchesSequential(t *testing.T) {
+	blobs := makeBlobs(503) // odd size exercises ragged chunking
+	mk := func(workers int) *Result {
+		plan := Plan{Ops: []Operator{
+			&Scan{Blobs: blobs},
+			&PPFilter{F: thresholdFilter{col: "x", t: 99, cost: 1}},
+			&Process{P: fakeUDF{name: "U", cost: 7, col: "x"}},
+			&Select{Pred: query.MustParse("x>250")},
+		}}
+		res, err := Run(plan, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := mk(1)
+	for _, workers := range []int{2, 4, 8} {
+		par := mk(workers)
+		if par.ClusterTime != seq.ClusterTime {
+			t.Fatalf("workers=%d: cluster time %v vs %v", workers, par.ClusterTime, seq.ClusterTime)
+		}
+		if len(par.Rows) != len(seq.Rows) {
+			t.Fatalf("workers=%d: rows %d vs %d", workers, len(par.Rows), len(seq.Rows))
+		}
+		for i := range par.Rows {
+			if par.Rows[i].Blob.ID != seq.Rows[i].Blob.ID {
+				t.Fatalf("workers=%d: row order diverged at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelProcessErrorPropagates(t *testing.T) {
+	// A blob without truth makes the UDF fail inside a worker goroutine.
+	blobs := makeBlobs(100)
+	blobs[57] = blob.Blob{ID: 57} // no Truth map
+	plan := Plan{Ops: []Operator{
+		&Scan{Blobs: blobs},
+		&Process{P: fakeUDF{name: "U", cost: 1, col: "x"}},
+	}}
+	if _, err := Run(plan, Config{Workers: 4}); err == nil {
+		t.Fatal("expected worker error to propagate")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	cases := []struct {
+		n, workers int
+		wantChunks int
+	}{
+		{10, 2, 2}, {10, 3, 3}, {3, 8, 3}, {1, 4, 1}, {100, 7, 7},
+	}
+	for _, c := range cases {
+		bounds := chunkBounds(c.n, c.workers)
+		if len(bounds) != c.wantChunks {
+			t.Errorf("chunkBounds(%d,%d) = %d chunks, want %d",
+				c.n, c.workers, len(bounds), c.wantChunks)
+		}
+		covered := 0
+		prevEnd := 0
+		for _, b := range bounds {
+			if b[0] != prevEnd {
+				t.Errorf("chunkBounds(%d,%d): gap at %v", c.n, c.workers, b)
+			}
+			covered += b[1] - b[0]
+			prevEnd = b[1]
+		}
+		if covered != c.n {
+			t.Errorf("chunkBounds(%d,%d) covers %d", c.n, c.workers, covered)
+		}
+	}
+}
+
+func TestSmallInputStaysSequential(t *testing.T) {
+	// Fewer than 2×workers rows: the sequential path runs (no goroutine
+	// overhead for tiny batches). Behaviour must be identical either way.
+	blobs := makeBlobs(5)
+	plan := Plan{Ops: []Operator{
+		&Scan{Blobs: blobs},
+		&Process{P: fakeUDF{name: "U", cost: 1, col: "x"}},
+	}}
+	res, err := Run(plan, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}

@@ -1,0 +1,94 @@
+// Package engine implements the relational data-parallel substrate the
+// paper's system runs on (§4): rows that carry a raw blob plus
+// UDF-materialized columns, Volcano-style operators (scan, processor UDF,
+// select, project, foreign-key join, group/reduce, PP filter), and a
+// deterministic virtual cost model.
+//
+// The paper evaluates on Microsoft's Cosmos cluster and reports two metrics
+// (§8.2): cluster processing time (total resource usage) and query latency
+// (end-to-end wall time). We reproduce both deterministically: every
+// operator declares a per-row cost in virtual milliseconds; cluster time is
+// the sum of per-row costs, and latency models a partitioned pipelined
+// execution where stage barriers serialize (which is what makes SortP's
+// latency worse than NoP's even as it saves resources, §8.2).
+package engine
+
+import (
+	"fmt"
+
+	"probpred/internal/blob"
+	"probpred/internal/query"
+)
+
+// Row is one tuple: the originating raw blob plus the relational columns
+// materialized so far.
+type Row struct {
+	Blob blob.Blob
+	Cols map[string]query.Value
+}
+
+// NewRow wraps a blob with no materialized columns.
+func NewRow(b blob.Blob) Row {
+	return Row{Blob: b, Cols: map[string]query.Value{}}
+}
+
+// Lookup implements the predicate binding over the row's columns.
+func (r Row) Lookup(col string) (query.Value, bool) {
+	v, ok := r.Cols[col]
+	return v, ok
+}
+
+// With returns a copy of the row with one additional column; the original is
+// not modified (operators may hold references to earlier rows).
+func (r Row) With(col string, v query.Value) Row {
+	cols := make(map[string]query.Value, len(r.Cols)+1)
+	for k, val := range r.Cols {
+		cols[k] = val
+	}
+	cols[col] = v
+	return Row{Blob: r.Blob, Cols: cols}
+}
+
+// Get returns a column value or an error naming the missing column.
+func (r Row) Get(col string) (query.Value, error) {
+	v, ok := r.Cols[col]
+	if !ok {
+		return query.Value{}, fmt.Errorf("engine: row has no column %q", col)
+	}
+	return v, nil
+}
+
+// Processor is the row-manipulator UDF template of §4: it produces zero or
+// more output rows per input row. Data ingestion and per-blob ML operations
+// (detectors, feature extractors, classifiers) are processors.
+type Processor interface {
+	// Name identifies the UDF in plans and stats.
+	Name() string
+	// Cost is the virtual per-input-row execution cost.
+	Cost() float64
+	// Apply transforms one input row.
+	Apply(r Row) ([]Row, error)
+}
+
+// Reducer is the grouped-operation UDF template of §4 (e.g. object tracking
+// over an ordered group of frames). On the plan it translates to a
+// partition-shuffle-aggregate, which is a stage barrier.
+type Reducer interface {
+	Name() string
+	// Cost is the virtual per-input-row cost.
+	Cost() float64
+	// Key extracts the grouping key.
+	Key(r Row) (string, error)
+	// Reduce transforms one group.
+	Reduce(key string, rows []Row) ([]Row, error)
+}
+
+// Combiner is the custom-join UDF template of §4: an operation over two
+// groups of related rows, like a join implementation.
+type Combiner interface {
+	Name() string
+	// Cost is the virtual cost per pair of input rows considered.
+	Cost() float64
+	// Combine joins two co-keyed groups.
+	Combine(key string, left, right []Row) ([]Row, error)
+}

@@ -1,0 +1,54 @@
+package kde
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	xs, ys := ringData(200, 20)
+	m, err := Train(xs, ys, Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var loaded Model
+	if err := gob.NewDecoder(&buf).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bandwidth() != m.Bandwidth() {
+		t.Fatalf("bandwidth mismatch: %v vs %v", loaded.Bandwidth(), m.Bandwidth())
+	}
+	for _, x := range xs[:50] {
+		if loaded.Score(x) != m.Score(x) {
+			t.Fatal("score mismatch after gob round trip")
+		}
+	}
+	if loaded.Cost() != m.Cost() {
+		t.Fatal("cost mismatch")
+	}
+}
+
+func TestGobDecodeGarbage(t *testing.T) {
+	var m Model
+	if err := m.GobDecode([]byte("garbage")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSilvermanDegenerateData(t *testing.T) {
+	// All-identical points: σ=0 must fall back to a usable bandwidth.
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	ys := []bool{true, true, true, false}
+	m, err := Train(xs, ys, Config{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bandwidth() <= 0 {
+		t.Fatalf("bandwidth = %v", m.Bandwidth())
+	}
+}

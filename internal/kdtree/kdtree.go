@@ -1,0 +1,192 @@
+// Package kdtree implements a k-dimensional tree [8] used by the KDE PP
+// classifier (§5.2 usage note) to retrieve a test point's neighbourhood in
+// (average) logarithmic time instead of scanning the full training set.
+package kdtree
+
+import (
+	"sort"
+
+	"probpred/internal/mathx"
+)
+
+// Tree is an immutable k-d tree over dense points.
+type Tree struct {
+	points []mathx.Vec
+	// payload carries an arbitrary integer per point (e.g. a label or index).
+	payload []int
+	root    *node
+	dim     int
+}
+
+type node struct {
+	idx         int // index into points
+	axis        int
+	left, right *node
+}
+
+// Build constructs a balanced k-d tree over points. payload[i] is carried
+// alongside points[i]; pass nil for no payloads. Build copies the slices'
+// headers but not the vectors.
+func Build(points []mathx.Vec, payload []int) *Tree {
+	t := &Tree{points: points, payload: payload}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	t.root = t.build(order, 0)
+	return t
+}
+
+// build recursively splits order on the median along the cycling axis.
+func (t *Tree) build(order []int, depth int) *node {
+	if len(order) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sort.Slice(order, func(a, b int) bool {
+		return t.points[order[a]][axis] < t.points[order[b]][axis]
+	})
+	mid := len(order) / 2
+	n := &node{idx: order[mid], axis: axis}
+	// Copy halves: sort.Slice above re-sorts shared backing arrays otherwise.
+	left := append([]int(nil), order[:mid]...)
+	right := append([]int(nil), order[mid+1:]...)
+	n.left = t.build(left, depth+1)
+	n.right = t.build(right, depth+1)
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.points) }
+
+// Point returns the i-th indexed point.
+func (t *Tree) Point(i int) mathx.Vec { return t.points[i] }
+
+// Payload returns the payload attached to point i (0 when none was given).
+func (t *Tree) Payload(i int) int {
+	if t.payload == nil {
+		return 0
+	}
+	return t.payload[i]
+}
+
+// Result is one neighbour returned by a query.
+type Result struct {
+	Index  int     // index into the tree's point set
+	SqDist float64 // squared Euclidean distance to the query
+}
+
+// Range returns the indices of all points within Euclidean distance radius
+// of q, in arbitrary order.
+func (t *Tree) Range(q mathx.Vec, radius float64) []Result {
+	if t.root == nil {
+		return nil
+	}
+	var out []Result
+	r2 := radius * radius
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		p := t.points[n.idx]
+		if d2 := mathx.SqDist(q, p); d2 <= r2 {
+			out = append(out, Result{Index: n.idx, SqDist: d2})
+		}
+		delta := q[n.axis] - p[n.axis]
+		if delta <= radius {
+			walk(n.left)
+		}
+		if delta >= -radius {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// KNN returns the k nearest neighbours of q sorted by ascending distance.
+// If the tree holds fewer than k points, all are returned.
+func (t *Tree) KNN(q mathx.Vec, k int) []Result {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		p := t.points[n.idx]
+		d2 := mathx.SqDist(q, p)
+		if h.Len() < k {
+			h.push(Result{Index: n.idx, SqDist: d2})
+		} else if d2 < h.top().SqDist {
+			h.popTop()
+			h.push(Result{Index: n.idx, SqDist: d2})
+		}
+		delta := q[n.axis] - p[n.axis]
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		walk(near)
+		// Visit the far side only if the splitting plane is closer than the
+		// current k-th best.
+		if h.Len() < k || delta*delta < h.top().SqDist {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.popTop()
+	}
+	return out
+}
+
+// maxHeap is a binary max-heap on SqDist, used to track the current k best.
+type maxHeap struct{ items []Result }
+
+func (h *maxHeap) Len() int    { return len(h.items) }
+func (h *maxHeap) top() Result { return h.items[0] }
+func (h *maxHeap) push(r Result) {
+	h.items = append(h.items, r)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].SqDist >= h.items[i].SqDist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) popTop() Result {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.items) && h.items[l].SqDist > h.items[largest].SqDist {
+			largest = l
+		}
+		if r < len(h.items) && h.items[r].SqDist > h.items[largest].SqDist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}

@@ -1,0 +1,187 @@
+// Package online implements the paper's online context (§4, Figure 3b): at
+// cold start no PP is available, so query plans run unmodified but their UDF
+// outputs label the raw blobs for the relevant simple clauses; periodically,
+// once enough labeled input accumulates, PPs are (re)trained and subsequent
+// runs of the queries use plans containing them. Runtime observations feed
+// the A.5 dependence fix.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+	"probpred/internal/mathx"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+)
+
+// Config shapes the online system.
+type Config struct {
+	// Clauses lists the simple clauses to maintain PPs for (inferred from
+	// historical queries in a batch system; declared here).
+	Clauses []string
+	// MinLabels is how many labeled blobs a clause needs before its first
+	// training. Zero selects 500.
+	MinLabels int
+	// RetrainEvery retrains a clause's PP after this many new labels
+	// beyond the last training. Zero selects 2000.
+	RetrainEvery int
+	// BufferCap bounds the per-clause label buffer (oldest labels are
+	// evicted first, so retraining follows the stream). Zero selects 4000.
+	BufferCap int
+	// Train passes through PP construction settings.
+	Train core.TrainConfig
+	// Domains feeds the optimizer's wrangler.
+	Domains map[string][]query.Value
+	// Seed drives splits.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.MinLabels == 0 {
+		c.MinLabels = 500
+	}
+	if c.RetrainEvery == 0 {
+		c.RetrainEvery = 2000
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 4000
+	}
+}
+
+// clauseState tracks one clause's label buffer and training status.
+type clauseState struct {
+	pred           query.Pred
+	blobs          []blob.Blob
+	labels         []bool
+	sinceLastTrain int
+	trained        bool
+}
+
+// System is the online PP manager.
+type System struct {
+	cfg     Config
+	corpus  *optimizer.Corpus
+	opt     *optimizer.Optimizer
+	clauses map[string]*clauseState
+	order   []string
+	rng     *mathx.RNG
+	// Trainings counts PP (re)trainings performed, for tests and reports.
+	Trainings int
+}
+
+// New builds the system; it validates that every clause parses as a simple
+// clause.
+func New(cfg Config) (*System, error) {
+	cfg.fill()
+	if len(cfg.Clauses) == 0 {
+		return nil, fmt.Errorf("online: no clauses configured")
+	}
+	corpus := optimizer.NewCorpus()
+	s := &System{
+		cfg:     cfg,
+		corpus:  corpus,
+		opt:     optimizer.New(corpus),
+		clauses: map[string]*clauseState{},
+		rng:     mathx.NewRNG(cfg.Seed ^ 0x0a11e),
+	}
+	for _, c := range cfg.Clauses {
+		p, err := query.Parse(c)
+		if err != nil {
+			return nil, fmt.Errorf("online: clause %q: %w", c, err)
+		}
+		if _, ok := p.(*query.Clause); !ok {
+			return nil, fmt.Errorf("online: %q is not a simple clause", c)
+		}
+		s.clauses[c] = &clauseState{pred: p}
+		s.order = append(s.order, c)
+	}
+	sort.Strings(s.order)
+	return s, nil
+}
+
+// Observe records one blob whose relevant columns were materialized by the
+// unmodified query plan (the "query plans output labeled inputs for relevant
+// clauses" arrow of Figure 3b). Clauses whose columns are absent from the
+// lookup are skipped — a query only labels the clauses it computes.
+func (s *System) Observe(b blob.Blob, l query.Lookup) error {
+	for _, key := range s.order {
+		st := s.clauses[key]
+		ok, err := st.pred.Eval(l)
+		if err != nil {
+			continue // this query did not materialize the clause's column
+		}
+		if len(st.blobs) >= s.cfg.BufferCap {
+			st.blobs = st.blobs[1:]
+			st.labels = st.labels[1:]
+		}
+		st.blobs = append(st.blobs, b)
+		st.labels = append(st.labels, ok)
+		st.sinceLastTrain++
+		if err := s.maybeTrain(key, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeTrain (re)trains a clause's PP when enough labels accumulated.
+func (s *System) maybeTrain(key string, st *clauseState) error {
+	ready := (!st.trained && len(st.blobs) >= s.cfg.MinLabels) ||
+		(st.trained && st.sinceLastTrain >= s.cfg.RetrainEvery)
+	if !ready {
+		return nil
+	}
+	set := blob.Set{Blobs: st.blobs, Labels: st.labels}
+	// Both classes must be present; otherwise wait for more data.
+	if p := set.Positives(); p == 0 || p == set.Len() {
+		return nil
+	}
+	train, val, _ := set.Split(s.rng.Split(), 0.8, 0.2)
+	if val.Positives() == 0 {
+		return nil // validation must see positives to calibrate thresholds
+	}
+	cfg := s.cfg.Train
+	cfg.Seed ^= uint64(s.Trainings+1) * 0x9e37
+	pp, err := core.Train(key, train, val, cfg)
+	if err != nil {
+		return fmt.Errorf("online: training %q: %w", key, err)
+	}
+	s.corpus.Add(pp)
+	st.trained = true
+	st.sinceLastTrain = 0
+	s.Trainings++
+	return nil
+}
+
+// TrainedClauses returns the clauses with a live PP.
+func (s *System) TrainedClauses() []string {
+	var out []string
+	for _, key := range s.order {
+		if s.clauses[key].trained {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Decide optimizes a query predicate against the current corpus. During
+// cold start the decision simply does not inject.
+func (s *System) Decide(pred query.Pred, accuracy, udfCost float64) (*optimizer.Decision, error) {
+	return s.opt.Optimize(pred, optimizer.Options{
+		Accuracy: accuracy,
+		UDFCost:  udfCost,
+		Domains:  s.cfg.Domains,
+	})
+}
+
+// ReportRun feeds the observed reduction of an executed decision back into
+// the optimizer's dependence tracking (A.5).
+func (s *System) ReportRun(dec *optimizer.Decision, observedReduction float64) {
+	s.opt.ObserveRuntime(dec, observedReduction)
+}
+
+// Corpus exposes the live corpus (e.g. for persistence).
+func (s *System) Corpus() *optimizer.Corpus { return s.corpus }

@@ -1,0 +1,210 @@
+package online
+
+import (
+	"testing"
+
+	"probpred/internal/core"
+	"probpred/internal/data"
+	"probpred/internal/query"
+)
+
+func newTrafficSystem(t *testing.T, minLabels int) *System {
+	t.Helper()
+	s, err := New(Config{
+		Clauses:   []string{"t=SUV", "t=van", "c=red", "s>60"},
+		MinLabels: minLabels,
+		Train:     core.TrainConfig{Approach: "Raw+SVM"},
+		Domains:   data.TrafficDomains(),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error for no clauses")
+	}
+	if _, err := New(Config{Clauses: []string{"t="}}); err == nil {
+		t.Fatal("expected error for unparsable clause")
+	}
+	if _, err := New(Config{Clauses: []string{"t=SUV & c=red"}}); err == nil {
+		t.Fatal("expected error for composite clause")
+	}
+}
+
+func TestColdStartNoInjection(t *testing.T) {
+	s := newTrafficSystem(t, 500)
+	dec, err := s.Decide(query.MustParse("t=SUV"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Inject {
+		t.Fatal("cold-start system must not inject")
+	}
+	if len(s.TrainedClauses()) != 0 {
+		t.Fatal("no PP should exist yet")
+	}
+}
+
+func TestTrainsAfterEnoughLabels(t *testing.T) {
+	s := newTrafficSystem(t, 400)
+	// One continuous stream from one camera deployment: the system observes
+	// the prefix; the suffix is the "fresh" data PPs later filter.
+	stream := data.Traffic(data.TrafficConfig{Rows: 3200, Seed: 2})
+	for _, b := range stream[:1200] {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trained := s.TrainedClauses()
+	if len(trained) != 4 {
+		t.Fatalf("trained = %v, want all 4 clauses", trained)
+	}
+	// Decisions now inject.
+	dec, err := s.Decide(query.MustParse("t=SUV & c=red"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject {
+		t.Fatal("warm system should inject")
+	}
+	// And the injected filter is sound on fresh data at a=1.
+	dec1, err := s.Decide(query.MustParse("t=SUV"), 1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec1.Inject {
+		fresh := stream[1200:]
+		set, err := data.TrafficSet(fresh, query.MustParse("t=SUV"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dropped := 0
+		for i, b := range set.Blobs {
+			if !set.Labels[i] {
+				continue
+			}
+			if pass, _ := dec1.Filter.Test(b); !pass {
+				dropped++
+			}
+		}
+		if frac := float64(dropped) / float64(set.Positives()); frac > 0.05 {
+			t.Fatalf("online PP dropped %v of positives at a=1", frac)
+		}
+	}
+}
+
+func TestRetrainingCadence(t *testing.T) {
+	s, err := New(Config{
+		Clauses:      []string{"t=SUV"},
+		MinLabels:    300,
+		RetrainEvery: 500,
+		BufferCap:    1000,
+		Train:        core.TrainConfig{Approach: "Raw+SVM"},
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := data.Traffic(data.TrafficConfig{Rows: 2400, Seed: 5})
+	for _, b := range stream {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First training at ~300 labels, retraining every 500 thereafter:
+	// 300 + k*500 <= 2400 → k = 4 retrainings, 5 total.
+	if s.Trainings < 4 || s.Trainings > 6 {
+		t.Fatalf("trainings = %d, want ~5", s.Trainings)
+	}
+}
+
+func TestObserveSkipsUnmaterializedClauses(t *testing.T) {
+	s := newTrafficSystem(t, 100)
+	stream := data.Traffic(data.TrafficConfig{Rows: 400, Seed: 6})
+	// A lookup that only materializes the type column: color and speed
+	// clauses get no labels.
+	typeOnly := func(b interface{ TruthVal(string) (float64, bool) }) query.Lookup {
+		return func(col string) (query.Value, bool) {
+			if col != "t" {
+				return query.Value{}, false
+			}
+			v, _ := b.TruthVal("t")
+			return query.Str(data.VehicleTypes[int(v)]), true
+		}
+	}
+	for _, b := range stream {
+		if err := s.Observe(b, typeOnly(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trained := s.TrainedClauses()
+	for _, c := range trained {
+		if c == "c=red" || c == "s>60" {
+			t.Fatalf("clause %q trained without labels", c)
+		}
+	}
+	if len(trained) == 0 {
+		t.Fatal("type clauses should have trained")
+	}
+}
+
+func TestBufferCapEvicts(t *testing.T) {
+	s, err := New(Config{
+		Clauses:   []string{"t=SUV"},
+		MinLabels: 100,
+		BufferCap: 150,
+		Train:     core.TrainConfig{Approach: "Raw+SVM"},
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := data.Traffic(data.TrafficConfig{Rows: 500, Seed: 8})
+	for _, b := range stream {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.clauses["t=SUV"].blobs); n > 150 {
+		t.Fatalf("buffer grew to %d, cap 150", n)
+	}
+}
+
+func TestReportRunFeedsDependence(t *testing.T) {
+	s := newTrafficSystem(t, 300)
+	stream := data.Traffic(data.TrafficConfig{Rows: 1000, Seed: 9})
+	for _, b := range stream {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := s.Decide(query.MustParse("t=SUV & c=red"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject || dec.NumPPs < 2 {
+		t.Skip("need multi-PP decision")
+	}
+	s.ReportRun(dec, 0) // wildly off the estimate
+	dec2, err := s.Decide(query.MustParse("t=SUV & c=red"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Inject && dec2.NumPPs > 1 {
+		t.Fatal("dependence feedback ignored")
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	s := newTrafficSystem(t, 100)
+	if _, err := s.Decide(query.MustParse("t=SUV"), 2.0, 100); err == nil {
+		t.Fatal("expected error for accuracy > 1")
+	}
+	if _, err := s.Decide(query.MustParse("t=SUV"), 0.9, -1); err == nil {
+		t.Fatal("expected error for negative UDF cost")
+	}
+}

@@ -1,0 +1,75 @@
+// Package optimizer implements the paper's query-optimizer extension (§6 +
+// Appendix A): given a complex or previously-unseen query predicate, a corpus
+// of PPs trained for simple clauses, and a query-wide accuracy target, it
+// generates implied PP expressions (rewrite rules R1-R4 and the wrangler of
+// A.2), allocates the accuracy budget across PPs, costs conjunctions and
+// disjunctions with the formulas of Eq. 9/10, and emits the cheapest plan.
+package optimizer
+
+import (
+	"sort"
+
+	"probpred/internal/core"
+	"probpred/internal/query"
+)
+
+// Corpus is the set of trained PPs available to the optimizer, indexed by
+// the canonical string of the simple clause each PP mimics.
+type Corpus struct {
+	pps map[string]*core.PP
+	// negCache caches PPs derived by negation reuse (§5.6) so repeated
+	// optimizations share them.
+	negCache map[string]*core.PP
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{pps: map[string]*core.PP{}, negCache: map[string]*core.PP{}}
+}
+
+// Add registers a trained PP under its clause key, replacing any previous
+// PP for the same clause.
+func (c *Corpus) Add(pp *core.PP) { c.pps[pp.Clause] = pp }
+
+// Size returns the number of directly-trained PPs.
+func (c *Corpus) Size() int { return len(c.pps) }
+
+// Clauses returns the sorted clause keys of the directly-trained PPs.
+func (c *Corpus) Clauses() []string {
+	out := make([]string, 0, len(c.pps))
+	for k := range c.pps {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the PP trained directly for the clause key, if any.
+func (c *Corpus) Get(clause string) (*core.PP, bool) {
+	pp, ok := c.pps[clause]
+	return pp, ok
+}
+
+// Lookup resolves a clause to a PP: first by direct match, then by negation
+// reuse — a PP trained for p yields the PP for ¬p by flipping the classifier
+// sign (§5.6). Derived PPs are cached.
+func (c *Corpus) Lookup(cl *query.Clause) (*core.PP, bool) {
+	key := cl.String()
+	if pp, ok := c.pps[key]; ok {
+		return pp, true
+	}
+	if pp, ok := c.negCache[key]; ok {
+		return pp, true
+	}
+	negKey := cl.Negate().String()
+	base, ok := c.pps[negKey]
+	if !ok {
+		return nil, false
+	}
+	derived, err := base.Negate(key)
+	if err != nil {
+		return nil, false
+	}
+	c.negCache[key] = derived
+	return derived, true
+}

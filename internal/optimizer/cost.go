@@ -1,0 +1,194 @@
+package optimizer
+
+import (
+	"math"
+
+	"probpred/internal/core"
+)
+
+// plan is a costed, accuracy-assigned instantiation of an Expr node (§6.2):
+// every leaf carries the share of the query's accuracy budget allocated to
+// it, internal nodes carry the combined cost c(a] and reduction r(a] from
+// Eq. 9 (conjunction) / Eq. 10 (disjunction), and kid order encodes the
+// chosen short-circuit evaluation order.
+type plan struct {
+	leaf      *core.PP
+	conj      bool
+	kids      []*plan
+	accuracy  float64
+	cost      float64
+	reduction float64
+}
+
+// budgetGrid is the discretization of the accuracy-budget split explored at
+// each conjunction/disjunction (the paper's dynamic program; the grid keeps
+// it polynomial).
+var budgetGrid = []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+
+// costOpts carries the ablation switches of §6.2's two search dimensions.
+type costOpts struct {
+	// uniformBudget disables the accuracy-allocation search: conjunctions
+	// split the budget evenly (a_i = a^(1/2) at each fold).
+	uniformBudget bool
+	// fixedOrder disables the execution-order search: sub-expressions run
+	// in written order instead of cheapest-effective-first.
+	fixedOrder bool
+}
+
+// costExpr computes the minimum-plan-cost instantiation of e at query
+// accuracy target a, for a query whose remaining per-blob UDF cost is u.
+// Plan cost per blob is c + (1−r)·u (§3, §6.2).
+func costExpr(e Expr, a, u float64, opts costOpts) *plan {
+	memo := map[memoKey]*plan{}
+	return evalExpr(e, a, u, opts, memo)
+}
+
+type memoKey struct {
+	node Expr
+	acc  int64 // accuracy rounded to 1e-6
+}
+
+func evalExpr(e Expr, a, u float64, opts costOpts, memo map[memoKey]*plan) *plan {
+	key := memoKey{node: e, acc: int64(math.Round(a * 1e6))}
+	if p, ok := memo[key]; ok {
+		return p
+	}
+	var out *plan
+	switch n := e.(type) {
+	case *Leaf:
+		out = &plan{
+			leaf:      n.PP,
+			accuracy:  a,
+			cost:      n.PP.Cost(),
+			reduction: n.PP.Reduction(a),
+		}
+	case *Conj:
+		out = evalNary(n.Kids, a, u, true, opts, memo)
+	case *Disj:
+		out = evalNary(n.Kids, a, u, false, opts, memo)
+	}
+	memo[key] = out
+	return out
+}
+
+// evalNary folds an n-ary conjunction or disjunction pairwise, exploring
+// which kid joins the fold first (an ordering search: with the cost min()
+// of Eq. 9/10 also considering both operand orders at each fold, this
+// covers the orderings the paper's c/r-sorted + edit-distance heuristic
+// explores) and how the accuracy budget splits at each fold.
+func evalNary(kids []Expr, a, u float64, conj bool, opts costOpts, memo map[memoKey]*plan) *plan {
+	if len(kids) == 1 {
+		return evalExpr(kids[0], a, u, opts, memo)
+	}
+	var best *plan
+	firsts := len(kids)
+	if opts.fixedOrder {
+		firsts = 1 // written order only
+	}
+	for first := 0; first < firsts; first++ {
+		rest := make([]Expr, 0, len(kids)-1)
+		rest = append(rest, kids[:first]...)
+		rest = append(rest, kids[first+1:]...)
+		for _, t := range splitGrid(conj, opts) {
+			a1, a2 := splitBudget(a, t, conj)
+			p1 := evalExpr(kids[first], a1, u, opts, memo)
+			p2 := evalNary(rest, a2, u, conj, opts, memo)
+			combined := combine(p1, p2, conj, opts)
+			if best == nil || planCost(combined, u) < planCost(best, u) {
+				best = combined
+			}
+		}
+	}
+	return best
+}
+
+// splitGrid returns the budget-split points to explore. Disjunctions have a
+// single sound allocation (see splitBudget), so only one point; the
+// uniform-budget ablation pins conjunctions to an even split. The uniform
+// point is 1/2 of the log-budget: a1 = a2 = a^(1/2) at every fold.
+func splitGrid(conj bool, opts costOpts) []float64 {
+	if !conj {
+		return budgetGrid[:1]
+	}
+	if opts.uniformBudget {
+		return []float64{0.5}
+	}
+	return budgetGrid
+}
+
+// splitBudget divides the accuracy target between two branches.
+//
+// Conjunction (Eq. 9): a = a1·a2, so a1 = a^t, a2 = a^(1−t) — a positive
+// must pass both branches, and the budget trades off between them.
+//
+// Disjunction: every branch receives the full target a. This is the sound
+// allocation: a blob satisfying the disjunction is only guaranteed to be
+// caught by the branch whose clause it satisfies (Figure 7), so that branch
+// alone must retain an a-fraction of its positives. (Eq. 10's
+// a = a1+a2−a1·a2 models branches as independent chances; taking a1=a2=a
+// satisfies it with margin while preserving the zero-false-negative
+// guarantee at a=1.)
+func splitBudget(a, t float64, conj bool) (a1, a2 float64) {
+	if conj {
+		return math.Pow(a, t), math.Pow(a, 1-t)
+	}
+	return a, a
+}
+
+// combine merges two costed sub-plans with the composition formulas,
+// ordering the kids so the cheaper-effective branch executes first (the min
+// of the two cost orders in Eq. 9/10) unless the fixed-order ablation is on.
+func combine(p1, p2 *plan, conj bool, opts costOpts) *plan {
+	var r, cForward, cReverse float64
+	if conj {
+		r = p1.reduction + p2.reduction - p1.reduction*p2.reduction
+		cForward = p1.cost + (1-p1.reduction)*p2.cost
+		cReverse = p2.cost + (1-p2.reduction)*p1.cost
+	} else {
+		r = p1.reduction * p2.reduction
+		cForward = p1.cost + p1.reduction*p2.cost
+		cReverse = p2.cost + p2.reduction*p1.cost
+	}
+	kids := []*plan{p1, p2}
+	cost := cForward
+	if cReverse < cForward && !opts.fixedOrder {
+		kids = []*plan{p2, p1}
+		cost = cReverse
+	}
+	var a float64
+	if conj {
+		a = p1.accuracy * p2.accuracy
+	} else {
+		a = p1.accuracy + p2.accuracy - p1.accuracy*p2.accuracy
+	}
+	return &plan{conj: conj, kids: kids, accuracy: a, cost: cost, reduction: r}
+}
+
+// planCost is the per-blob plan cost c + (1−r)·u (§3).
+func planCost(p *plan, u float64) float64 {
+	return p.cost + (1-p.reduction)*u
+}
+
+// compile lowers a costed plan into an executable short-circuit filter; leaf
+// thresholds come from each leaf's allocated accuracy.
+func compilePlan(p *plan, name string) *Compiled {
+	return &Compiled{name: name, node: compileNode(p)}
+}
+
+func compileNode(p *plan) compiledNode {
+	if p.leaf != nil {
+		return &compiledLeaf{
+			pp:        p.leaf,
+			threshold: p.leaf.Threshold(p.accuracy),
+			cost:      p.leaf.Cost(),
+		}
+	}
+	kids := make([]compiledNode, len(p.kids))
+	for i, k := range p.kids {
+		kids[i] = compileNode(k)
+	}
+	if p.conj {
+		return &compiledConj{kids: kids}
+	}
+	return &compiledDisj{kids: kids}
+}

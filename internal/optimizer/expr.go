@@ -1,0 +1,161 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+)
+
+// Expr is a logical expression over PPs: a leaf, a conjunction or a
+// disjunction (§6.1, Table 3). An Expr is implied by the query predicate it
+// was generated for (𝒫 ⇒ ℰ), so dropping blobs it rejects never adds false
+// positives.
+type Expr interface {
+	// Leaves appends the expression's PPs to dst and returns it.
+	Leaves(dst []*core.PP) []*core.PP
+	// String renders the expression (e.g. "PP[t=SUV] | PP[t=van]").
+	String() string
+}
+
+// Leaf wraps a single PP.
+type Leaf struct{ PP *core.PP }
+
+// Leaves implements Expr.
+func (l *Leaf) Leaves(dst []*core.PP) []*core.PP { return append(dst, l.PP) }
+
+// String implements Expr.
+func (l *Leaf) String() string { return "PP[" + l.PP.Clause + "]" }
+
+// Conj is a conjunction of sub-expressions (Figure 8: a blob must pass every
+// branch; branches short-circuit on the first failure).
+type Conj struct{ Kids []Expr }
+
+// Leaves implements Expr.
+func (c *Conj) Leaves(dst []*core.PP) []*core.PP {
+	for _, k := range c.Kids {
+		dst = k.Leaves(dst)
+	}
+	return dst
+}
+
+// String implements Expr.
+func (c *Conj) String() string { return joinExpr(c.Kids, " & ") }
+
+// Disj is a disjunction of sub-expressions (Figure 7: a blob is discarded
+// only if it fails every branch; branches short-circuit on the first pass).
+type Disj struct{ Kids []Expr }
+
+// Leaves implements Expr.
+func (d *Disj) Leaves(dst []*core.PP) []*core.PP {
+	for _, k := range d.Kids {
+		dst = k.Leaves(dst)
+	}
+	return dst
+}
+
+// String implements Expr.
+func (d *Disj) String() string { return joinExpr(d.Kids, " | ") }
+
+func joinExpr(kids []Expr, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		s := k.String()
+		if _, isLeaf := k.(*Leaf); !isLeaf {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, sep)
+}
+
+// NumLeaves counts the PPs in an expression.
+func NumLeaves(e Expr) int { return len(e.Leaves(nil)) }
+
+// Compiled is an executable PP expression: every leaf has a concrete
+// threshold (from its accuracy-budget share) and kids are ordered for
+// short-circuit evaluation (cheapest effective first, §6.2). It implements
+// engine.BlobFilter.
+type Compiled struct {
+	name string
+	node compiledNode
+}
+
+type compiledNode interface {
+	// test returns pass/fail and the virtual cost actually incurred, which
+	// depends on short-circuiting.
+	test(b blob.Blob) (bool, float64)
+}
+
+type compiledLeaf struct {
+	pp        *core.PP
+	threshold float64
+	cost      float64
+}
+
+func (l *compiledLeaf) test(b blob.Blob) (bool, float64) {
+	return l.pp.Score(b) >= l.threshold, l.cost
+}
+
+type compiledConj struct{ kids []compiledNode }
+
+func (c *compiledConj) test(b blob.Blob) (bool, float64) {
+	total := 0.0
+	for _, k := range c.kids {
+		ok, cost := k.test(b)
+		total += cost
+		if !ok {
+			return false, total
+		}
+	}
+	return true, total
+}
+
+type compiledDisj struct{ kids []compiledNode }
+
+func (d *compiledDisj) test(b blob.Blob) (bool, float64) {
+	total := 0.0
+	for _, k := range d.kids {
+		ok, cost := k.test(b)
+		total += cost
+		if ok {
+			return true, total
+		}
+	}
+	return false, total
+}
+
+// Name implements engine.BlobFilter.
+func (c *Compiled) Name() string { return c.name }
+
+// Test implements engine.BlobFilter.
+func (c *Compiled) Test(b blob.Blob) (bool, float64) { return c.node.test(b) }
+
+// dropAllFilter rejects every blob at zero cost — the compiled form of an
+// unsatisfiable predicate.
+func dropAllFilter() *Compiled {
+	return &Compiled{name: "false", node: dropAllNode{}}
+}
+
+type dropAllNode struct{}
+
+func (dropAllNode) test(blob.Blob) (bool, float64) { return false, 0 }
+
+// describePlan renders a compiled plan with per-leaf accuracies for reports
+// (Table 10's "picked plan" column).
+func describeLeafAccuracies(p *plan) string {
+	var parts []string
+	var walk func(n *plan)
+	walk = func(n *plan) {
+		if n.leaf != nil {
+			parts = append(parts, fmt.Sprintf("PP[%s]@%.3f", n.leaf.Clause, n.accuracy))
+			return
+		}
+		for _, k := range n.kids {
+			walk(k)
+		}
+	}
+	walk(p)
+	return strings.Join(parts, ", ")
+}

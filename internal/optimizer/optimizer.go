@@ -1,0 +1,256 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"probpred/internal/query"
+)
+
+// Options configures one optimization call.
+type Options struct {
+	// Accuracy is the query-wide accuracy target a ∈ (0, 1]. Zero selects 1
+	// (no false negatives).
+	Accuracy float64
+	// UDFCost is u, the per-blob virtual cost of the original query plan
+	// downstream of the PP (everything the PP can short-circuit, §3).
+	UDFCost float64
+	// MaxPPs is the paper's constant k bounding PPs per expression. Zero
+	// selects 4.
+	MaxPPs int
+	// Domains maps columns to their finite value domains, enabling the
+	// wrangler rewrites of A.2. Optional.
+	Domains map[string][]query.Value
+	// DisableBudgetSearch pins conjunctions to an even accuracy split
+	// instead of searching allocations — an ablation knob quantifying the
+	// value of §6.2's dynamic program.
+	DisableBudgetSearch bool
+	// DisableOrderSearch executes sub-expressions in written order instead
+	// of cheapest-effective-first — an ablation knob for §6.2's ordering.
+	DisableOrderSearch bool
+}
+
+func (o *Options) fill() {
+	if o.Accuracy == 0 {
+		o.Accuracy = 1
+	}
+	if o.MaxPPs == 0 {
+		o.MaxPPs = 4
+	}
+}
+
+// Alternative describes one costed candidate expression (Table 10's
+// alternate-plan rows).
+type Alternative struct {
+	// Expr renders the expression.
+	Expr string
+	// Cost is the expected per-blob PP execution cost c(a].
+	Cost float64
+	// Reduction is the estimated data reduction r(a].
+	Reduction float64
+	// PlanCost is c + (1−r)·u.
+	PlanCost float64
+	// LeafAccuracies lists the per-PP accuracy allocations.
+	LeafAccuracies string
+}
+
+// Decision is the optimizer's output for one query.
+type Decision struct {
+	// Inject reports whether using PPs beats running the query as-is. When
+	// false, Filter is nil and the plan should run unmodified (r ≤ c/u
+	// makes early filtering a loss, §3).
+	Inject bool
+	// Filter is the executable PP filter (an engine.BlobFilter).
+	Filter *Compiled
+	// Expr is the chosen expression's rendering.
+	Expr string
+	// LeafAccuracies lists the chosen per-PP accuracy allocations.
+	LeafAccuracies string
+	// Cost, Reduction and PlanCost describe the chosen plan.
+	Cost, Reduction, PlanCost float64
+	// BaselineCost is the per-blob cost without PPs (= u).
+	BaselineCost float64
+	// NumCandidates is the number of feasible expressions explored.
+	NumCandidates int
+	// Alternatives lists every candidate, best first.
+	Alternatives []Alternative
+	// NumPPs is the number of PP leaves in the chosen expression.
+	NumPPs int
+	// leaves caches the chosen expression's clause keys for the A.5
+	// dependence feedback loop.
+	leaves []string
+}
+
+// LeafClauses returns the clause keys of the PPs in the chosen expression
+// (empty when nothing was injected). Negation-derived PPs report the negated
+// clause key; callers attributing training cost should also consult the
+// base clause (§5.6: the classifier is shared).
+func (d *Decision) LeafClauses() []string {
+	return append([]string(nil), d.leaves...)
+}
+
+// Optimizer holds the corpus and the runtime-dependence state shared across
+// queries (A.5).
+type Optimizer struct {
+	corpus *Corpus
+	// dependent flags clause pairs whose PPs proved dependent at runtime.
+	dependent map[string]bool
+}
+
+// New returns an optimizer over the given corpus.
+func New(c *Corpus) *Optimizer {
+	return &Optimizer{corpus: c, dependent: map[string]bool{}}
+}
+
+// Corpus exposes the optimizer's PP corpus.
+func (o *Optimizer) Corpus() *Corpus { return o.corpus }
+
+// Optimize chooses the best PP expression for the predicate, or decides not
+// to inject any (§6.2). It returns an error only for invalid options;
+// "no useful PP" is a normal Inject=false decision.
+func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
+	opts.fill()
+	if opts.Accuracy <= 0 || opts.Accuracy > 1 {
+		return nil, fmt.Errorf("optimizer: accuracy target %v outside (0,1]", opts.Accuracy)
+	}
+	if opts.UDFCost < 0 {
+		return nil, fmt.Errorf("optimizer: negative UDF cost %v", opts.UDFCost)
+	}
+	pred = query.Simplify(pred)
+	if _, unsat := pred.(query.False); unsat {
+		// The predicate is unsatisfiable (e.g. s>60 ∧ s<50): no blob can
+		// contribute to the answer, so every blob is dropped for free with
+		// zero accuracy loss.
+		return &Decision{
+			Inject:       true,
+			Filter:       dropAllFilter(),
+			Expr:         "false (unsatisfiable predicate)",
+			Reduction:    1,
+			BaselineCost: opts.UDFCost,
+		}, nil
+	}
+	g := &generator{
+		corpus:  o.corpus,
+		domains: opts.Domains,
+		maxPPs:  opts.MaxPPs,
+		skip:    o.dependent,
+	}
+	candidates := g.gen(pred)
+	dec := &Decision{
+		BaselineCost:  opts.UDFCost,
+		NumCandidates: len(candidates),
+		PlanCost:      opts.UDFCost,
+	}
+	copts := costOpts{uniformBudget: opts.DisableBudgetSearch, fixedOrder: opts.DisableOrderSearch}
+	var bestPlan *plan
+	var bestExpr Expr
+	for _, e := range candidates {
+		p := costExpr(e, opts.Accuracy, opts.UDFCost, copts)
+		dec.Alternatives = append(dec.Alternatives, Alternative{
+			Expr:           e.String(),
+			Cost:           p.cost,
+			Reduction:      p.reduction,
+			PlanCost:       planCost(p, opts.UDFCost),
+			LeafAccuracies: describeLeafAccuracies(p),
+		})
+		if bestPlan == nil || planCost(p, opts.UDFCost) < planCost(bestPlan, opts.UDFCost) {
+			bestPlan, bestExpr = p, e
+		}
+	}
+	sortAlternatives(dec.Alternatives)
+	if bestPlan == nil || planCost(bestPlan, opts.UDFCost) >= opts.UDFCost {
+		return dec, nil // running as-is is cheapest
+	}
+	dec.Inject = true
+	dec.Expr = bestExpr.String()
+	dec.LeafAccuracies = describeLeafAccuracies(bestPlan)
+	dec.Cost = bestPlan.cost
+	dec.Reduction = bestPlan.reduction
+	dec.PlanCost = planCost(bestPlan, opts.UDFCost)
+	dec.Filter = compilePlan(bestPlan, bestExpr.String())
+	for _, pp := range bestExpr.Leaves(nil) {
+		dec.leaves = append(dec.leaves, pp.Clause)
+	}
+	dec.NumPPs = len(dec.leaves)
+	return dec, nil
+}
+
+// sortAlternatives orders candidates by ascending plan cost, then
+// expression text for determinism.
+func sortAlternatives(alts []Alternative) {
+	sort.SliceStable(alts, func(i, j int) bool {
+		if alts[i].PlanCost != alts[j].PlanCost {
+			return alts[i].PlanCost < alts[j].PlanCost
+		}
+		return alts[i].Expr < alts[j].Expr
+	})
+}
+
+// Dependence detection (A.5): the observed reduction may deviate from the
+// estimate by an absolute floor plus a relative share of the estimate
+// before the plan's PPs are flagged as dependent.
+const (
+	dependenceAbsTolerance = 0.1
+	dependenceRelTolerance = 0.4
+)
+
+// ObserveRuntime feeds back the empirically observed reduction of an
+// executed decision. When the observation deviates dramatically from the
+// estimate, every clause pair in the decision is flagged as dependent so
+// future optimizations avoid combining them (A.5's runtime fix).
+func (o *Optimizer) ObserveRuntime(dec *Decision, observedReduction float64) {
+	if dec == nil || !dec.Inject || len(dec.leaves) < 2 {
+		return
+	}
+	tolerance := math.Max(dependenceAbsTolerance, dependenceRelTolerance*dec.Reduction)
+	if math.Abs(observedReduction-dec.Reduction) <= tolerance {
+		return
+	}
+	for i := 0; i < len(dec.leaves); i++ {
+		for j := i + 1; j < len(dec.leaves); j++ {
+			o.dependent[pairKey(dec.leaves[i], dec.leaves[j])] = true
+		}
+	}
+}
+
+// DependentPairs returns how many clause pairs are currently flagged.
+func (o *Optimizer) DependentPairs() int { return len(o.dependent) }
+
+// RewriteForRenames rewrites a predicate stated over post-projection column
+// names back into pre-projection names (the X_{p,Ca→Cb} pushdown of A.4's
+// column-renaming rule), so the PP can be matched and seeded below the
+// projection. Columns not in the rename map pass through unchanged.
+func RewriteForRenames(p query.Pred, oldToNew map[string]string) query.Pred {
+	newToOld := make(map[string]string, len(oldToNew))
+	for oldName, newName := range oldToNew {
+		newToOld[newName] = oldName
+	}
+	var rewrite func(query.Pred) query.Pred
+	rewrite = func(q query.Pred) query.Pred {
+		switch n := q.(type) {
+		case *query.Clause:
+			col := n.Col
+			if oldName, ok := newToOld[col]; ok {
+				col = oldName
+			}
+			return &query.Clause{Col: col, Op: n.Op, Val: n.Val}
+		case *query.And:
+			kids := make([]query.Pred, len(n.Kids))
+			for i, k := range n.Kids {
+				kids[i] = rewrite(k)
+			}
+			return &query.And{Kids: kids}
+		case *query.Or:
+			kids := make([]query.Pred, len(n.Kids))
+			for i, k := range n.Kids {
+				kids[i] = rewrite(k)
+			}
+			return &query.Or{Kids: kids}
+		case *query.Not:
+			return &query.Not{Kid: rewrite(n.Kid)}
+		}
+		return q
+	}
+	return rewrite(p)
+}

@@ -1,0 +1,35 @@
+package optimizer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"probpred/internal/core"
+)
+
+// Save writes the corpus's directly-trained PPs to w (negation-derived PPs
+// are re-derived on demand after a reload and are not persisted).
+func (c *Corpus) Save(w io.Writer) error {
+	pps := make([]*core.PP, 0, len(c.pps))
+	for _, clause := range c.Clauses() {
+		pps = append(pps, c.pps[clause])
+	}
+	if err := gob.NewEncoder(w).Encode(pps); err != nil {
+		return fmt.Errorf("optimizer: saving corpus: %w", err)
+	}
+	return nil
+}
+
+// LoadCorpus reads a corpus previously written with Save.
+func LoadCorpus(r io.Reader) (*Corpus, error) {
+	var pps []*core.PP
+	if err := gob.NewDecoder(r).Decode(&pps); err != nil {
+		return nil, fmt.Errorf("optimizer: loading corpus: %w", err)
+	}
+	c := NewCorpus()
+	for _, pp := range pps {
+		c.Add(pp)
+	}
+	return c, nil
+}

@@ -1,0 +1,134 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"probpred/internal/query"
+)
+
+// Training-set planning (Figure 3b's batch "outer loop" + Appendix A.1):
+// a batch system looks at historical queries, infers the simple clauses
+// that appear frequently, and decides which PPs to train under a training
+// budget. A.1 shows the exact problem is NP-hard (set cover reduces to
+// it), so SelectTrainingSet uses the standard greedy marginal
+// benefit-per-cost approximation.
+
+// InferClauses extracts the simple clauses of a historical workload with
+// their frequencies: every clause of every predicate, in canonical form,
+// plus the equality forms a ≠ clause wrangles into when domains are known
+// (so the corpus covers them; A.2).
+func InferClauses(preds []query.Pred, domains map[string][]query.Value) map[string]int {
+	freq := map[string]int{}
+	for _, p := range preds {
+		seen := map[string]bool{}
+		for _, cl := range query.Clauses(query.NNF(p)) {
+			add := func(c *query.Clause) {
+				key := c.String()
+				if !seen[key] {
+					seen[key] = true
+					freq[key]++
+				}
+			}
+			add(cl)
+			if cl.Op == query.OpNe {
+				// The ≠ clause is served by negation reuse of its = twin;
+				// count the twin, which is what actually gets trained.
+				add(cl.Negate())
+			}
+			if rewritten, ok := wrangleNotEqual(cl, domains); ok {
+				for _, sub := range query.Clauses(rewritten) {
+					add(sub)
+				}
+			}
+		}
+	}
+	return freq
+}
+
+// TrainingCandidate is one PP the planner may decide to train.
+type TrainingCandidate struct {
+	// Clause is the canonical simple clause.
+	Clause string
+	// TrainCost is the cost of training this PP, in any consistent unit.
+	TrainCost float64
+	// Queries lists the indices of workload queries this PP would benefit,
+	// with the per-query reduction estimate achieved when it is available.
+	Queries map[int]float64
+}
+
+// TrainingPlan is the planner's output.
+type TrainingPlan struct {
+	// Clauses lists the chosen PPs in selection order.
+	Clauses []string
+	// TotalCost is the summed training cost.
+	TotalCost float64
+	// Benefit is Σ over queries of the best reduction available from the
+	// chosen set (the objective of Eq. 11).
+	Benefit float64
+	// Covered is how many workload queries have at least one useful PP.
+	Covered int
+}
+
+// SelectTrainingSet approximates Eq. 11: choose a subset of candidates
+// whose training cost fits the budget, maximizing the summed per-query
+// benefit, where each query's benefit is the best reduction among its
+// chosen PPs. Greedy by marginal benefit per unit cost — the classic
+// (1−1/e) approximation for this coverage-type objective.
+func SelectTrainingSet(candidates []TrainingCandidate, budget float64) (*TrainingPlan, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("optimizer: training budget must be positive, got %v", budget)
+	}
+	for _, c := range candidates {
+		if c.TrainCost <= 0 {
+			return nil, fmt.Errorf("optimizer: candidate %q has non-positive training cost", c.Clause)
+		}
+	}
+	// bestByQuery[q] is the best reduction currently available to query q.
+	bestByQuery := map[int]float64{}
+	chosen := map[int]bool{}
+	plan := &TrainingPlan{}
+	for {
+		bestIdx := -1
+		bestRatio := 0.0
+		bestGain := 0.0
+		for i, c := range candidates {
+			if chosen[i] || plan.TotalCost+c.TrainCost > budget {
+				continue
+			}
+			gain := 0.0
+			for q, r := range c.Queries {
+				if r > bestByQuery[q] {
+					gain += r - bestByQuery[q]
+				}
+			}
+			if gain <= 0 {
+				continue
+			}
+			ratio := gain / c.TrainCost
+			if ratio > bestRatio {
+				bestRatio, bestIdx, bestGain = ratio, i, gain
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		c := candidates[bestIdx]
+		chosen[bestIdx] = true
+		plan.Clauses = append(plan.Clauses, c.Clause)
+		plan.TotalCost += c.TrainCost
+		plan.Benefit += bestGain
+		for q, r := range c.Queries {
+			if r > bestByQuery[q] {
+				bestByQuery[q] = r
+			}
+		}
+	}
+	for _, r := range bestByQuery {
+		if r > 0 {
+			plan.Covered++
+		}
+	}
+	sort.Strings(plan.Clauses)
+	return plan, nil
+}

@@ -1,0 +1,39 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that successfully parsed
+// predicates round-trip through their String form with identical structure.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"t=SUV",
+		"s>60 & s<65",
+		"t in {sedan, truck}",
+		"i=pt303 & (o=pt335 | o=pt306)",
+		"!(c=red) | true",
+		"a>=1.5 & b<=2 & c!=x",
+		"(((a=1)))",
+		"t in {a}",
+		"&&&", "!!!", "a=", "in in in", "{,}", "a in {",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Round trip: the rendered predicate must parse to the same render.
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered predicate %q does not re-parse: %v", rendered, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q", rendered, p2.String())
+		}
+		// NNF and CNF must not panic and must preserve renderability.
+		_ = NNF(p).String()
+		_ = CNF(p)
+	})
+}

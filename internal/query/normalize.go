@@ -1,0 +1,139 @@
+package query
+
+// NNF rewrites p into negation normal form: negations are pushed down to
+// clauses via De Morgan's laws and then absorbed into the clause operator
+// (¬(t=SUV) becomes t!=SUV). The optimizer's rewrite rules (§6.1) operate
+// on NNF predicates.
+func NNF(p Pred) Pred { return nnf(p, false) }
+
+func nnf(p Pred, negated bool) Pred {
+	switch n := p.(type) {
+	case *Clause:
+		if negated {
+			return n.Negate()
+		}
+		return n
+	case True:
+		if negated {
+			return False{}
+		}
+		return n
+	case False:
+		if negated {
+			return True{}
+		}
+		return n
+	case *Not:
+		return nnf(n.Kid, !negated)
+	case *And:
+		kids := make([]Pred, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = nnf(k, negated)
+		}
+		if negated {
+			return &Or{Kids: kids}
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Pred, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = nnf(k, negated)
+		}
+		if negated {
+			return &And{Kids: kids}
+		}
+		return &Or{Kids: kids}
+	}
+	return p
+}
+
+// CNF converts p (any form) into conjunctive normal form: a conjunction of
+// disjunctions of simple clauses. The result is returned as a slice of OR
+// groups; a group with one clause is a bare conjunct. The conversion first
+// normalizes to NNF, then distributes. Exponential in the worst case, which
+// is acceptable for the ≤4-clause predicates of the paper's workloads
+// (Table 7); callers cap predicate size upstream.
+func CNF(p Pred) [][]*Clause {
+	return cnf(NNF(p))
+}
+
+func cnf(p Pred) [][]*Clause {
+	switch n := p.(type) {
+	case *Clause:
+		return [][]*Clause{{n}}
+	case True:
+		return nil // empty conjunction = true
+	case False:
+		return [][]*Clause{{}} // an empty disjunction is unsatisfiable
+	case *And:
+		var out [][]*Clause
+		for _, k := range n.Kids {
+			out = append(out, cnf(k)...)
+		}
+		return out
+	case *Or:
+		// CNF(A ∨ B) = cross-product union of CNF(A) and CNF(B) groups.
+		out := [][]*Clause{{}}
+		for _, k := range n.Kids {
+			sub := cnf(k)
+			if sub == nil { // k is trivially true, so the whole Or is true
+				return nil
+			}
+			var next [][]*Clause
+			for _, group := range out {
+				for _, sg := range sub {
+					merged := make([]*Clause, 0, len(group)+len(sg))
+					merged = append(merged, group...)
+					merged = append(merged, sg...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out
+	case *Not:
+		// NNF eliminates every negation; nothing should reach here.
+		return [][]*Clause{{}}
+	}
+	return nil
+}
+
+// Implies reports whether truth of p guarantees truth of q for every row,
+// checked by exhaustive evaluation over the provided domains (one candidate
+// value set per column). It is used by tests to verify that rewritten PP
+// expressions really are necessary conditions (𝒫 ⇒ ℰ).
+func Implies(p, q Pred, domains map[string][]Value) bool {
+	cols := Columns(&And{Kids: []Pred{p, q}})
+	assignment := map[string]Value{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(cols) {
+			l := func(c string) (Value, bool) { v, ok := assignment[c]; return v, ok }
+			pv, err := p.Eval(l)
+			if err != nil {
+				return true // undefined rows don't witness non-implication
+			}
+			if !pv {
+				return true
+			}
+			qv, err := q.Eval(l)
+			if err != nil {
+				return false
+			}
+			return qv
+		}
+		col := cols[i]
+		vals := domains[col]
+		if len(vals) == 0 {
+			return false // cannot check an unknown domain
+		}
+		for _, v := range vals {
+			assignment[col] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}

@@ -1,0 +1,243 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a predicate expression. The grammar, mirroring the TRAF-20
+// predicate shapes of Table 7:
+//
+//	expr   := term ('|' term)*
+//	term   := factor ('&' factor)*
+//	factor := '!' factor | '(' expr ')' | clause | 'true'
+//	clause := ident op value | ident 'in' '{' value (',' value)* '}'
+//	op     := = | != | < | <= | > | >=
+//	value  := number | ident
+//
+// 'col in {a,b}' desugars to (col=a | col=b), the paper's ER predicates.
+func Parse(input string) (Pred, error) {
+	p := &parser{toks: lex(input)}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("query: parsing %q: %w", input, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("query: parsing %q: unexpected trailing token %q", input, p.peek())
+	}
+	return expr, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and constant
+// benchmark workloads.
+func MustParse(input string) Pred {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool    { return p.pos >= len(p.toks) }
+func (p *parser) peek() string { return p.toks[p.pos] }
+func (p *parser) next() string { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(t string) bool {
+	if !p.eof() && p.peek() == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseExpr() (Pred, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Pred{left}
+	for p.accept("|") {
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &Or{Kids: kids}, nil
+}
+
+func (p *parser) parseTerm() (Pred, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Pred{left}
+	for p.accept("&") {
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &And{Kids: kids}, nil
+}
+
+func (p *parser) parseFactor() (Pred, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("unexpected end of input")
+	}
+	if p.accept("!") {
+		kid, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Kid: kid}, nil
+	}
+	if p.accept("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		return e, nil
+	}
+	ident := p.next()
+	if ident == "true" {
+		return True{}, nil
+	}
+	if !isIdent(ident) {
+		return nil, fmt.Errorf("expected identifier, got %q", ident)
+	}
+	if p.eof() {
+		return nil, fmt.Errorf("expected operator after %q", ident)
+	}
+	op := p.next()
+	if op == "in" {
+		return p.parseInSet(ident)
+	}
+	switch Op(op) {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+	default:
+		return nil, fmt.Errorf("unknown operator %q", op)
+	}
+	if p.eof() {
+		return nil, fmt.Errorf("expected value after %q %s", ident, op)
+	}
+	val, err := parseValue(p.next())
+	if err != nil {
+		return nil, err
+	}
+	return &Clause{Col: ident, Op: Op(op), Val: val}, nil
+}
+
+// parseInSet handles "col in {a, b, c}".
+func (p *parser) parseInSet(col string) (Pred, error) {
+	if !p.accept("{") {
+		return nil, fmt.Errorf("expected '{' after 'in'")
+	}
+	var kids []Pred
+	for {
+		if p.eof() {
+			return nil, fmt.Errorf("unterminated set for column %q", col)
+		}
+		val, err := parseValue(p.next())
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, &Clause{Col: col, Op: OpEq, Val: val})
+		if p.accept("}") {
+			break
+		}
+		if !p.accept(",") {
+			return nil, fmt.Errorf("expected ',' or '}' in set for column %q", col)
+		}
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &Or{Kids: kids}, nil
+}
+
+func parseValue(tok string) (Value, error) {
+	if tok == "" {
+		return Value{}, fmt.Errorf("empty value")
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return Number(f), nil
+	}
+	if !isIdent(tok) {
+		return Value{}, fmt.Errorf("invalid value token %q", tok)
+	}
+	return Str(tok), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && (unicode.IsDigit(r) || r == '.')) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// lex splits the input into tokens: identifiers/numbers, operators, and the
+// punctuation & | ! ( ) { } ,.
+func lex(input string) []string {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '&' || c == '|' || c == '(' || c == ')' || c == '{' || c == '}' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, "!=")
+				i += 2
+			} else {
+				toks = append(toks, "!")
+				i++
+			}
+		case c == '<' || c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, string(c)+"=")
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		case c == '=':
+			toks = append(toks, "=")
+			i++
+		default:
+			j := i
+			for j < len(input) && !strings.ContainsRune(" \t\n&|(){},!<>=", rune(input[j])) {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		}
+	}
+	return toks
+}

@@ -1,0 +1,254 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func row(pairs map[string]Value) Lookup {
+	return func(c string) (Value, bool) { v, ok := pairs[c]; return v, ok }
+}
+
+func mustEval(t *testing.T, p Pred, l Lookup) bool {
+	t.Helper()
+	ok, err := p.Eval(l)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", p, err)
+	}
+	return ok
+}
+
+func TestParseSimpleClause(t *testing.T) {
+	p, err := Parse("t=SUV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.(*Clause)
+	if !ok || c.Col != "t" || c.Op != OpEq || c.Val.Str != "SUV" {
+		t.Fatalf("parsed %#v", p)
+	}
+	if c.String() != "t=SUV" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestParseNumericOps(t *testing.T) {
+	for _, in := range []string{"s>60", "s>=60", "s<65", "s<=65", "s!=70", "s=80"} {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if p.String() != in {
+			t.Fatalf("round trip %q -> %q", in, p.String())
+		}
+	}
+}
+
+func TestParseConjunctionDisjunction(t *testing.T) {
+	p := MustParse("t=SUV & c=red & i=pt335 & o=pt211")
+	and, ok := p.(*And)
+	if !ok || len(and.Kids) != 4 {
+		t.Fatalf("parsed %#v", p)
+	}
+	p = MustParse("i=pt303 & (o=pt335 | o=pt306)")
+	r := row(map[string]Value{"i": Str("pt303"), "o": Str("pt306")})
+	if !mustEval(t, p, r) {
+		t.Fatal("Q14-style predicate should hold")
+	}
+}
+
+func TestParseInSet(t *testing.T) {
+	p := MustParse("t in {sedan, truck}")
+	or, ok := p.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("in-set did not desugar: %#v", p)
+	}
+	if !mustEval(t, p, row(map[string]Value{"t": Str("truck")})) {
+		t.Fatal("t=truck should match")
+	}
+	if mustEval(t, p, row(map[string]Value{"t": Str("SUV")})) {
+		t.Fatal("t=SUV should not match")
+	}
+	// Single element set collapses to a clause.
+	if _, ok := MustParse("t in {van}").(*Clause); !ok {
+		t.Fatal("singleton set should be a clause")
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	p := MustParse("!(t=SUV)")
+	if mustEval(t, p, row(map[string]Value{"t": Str("SUV")})) {
+		t.Fatal("negation failed")
+	}
+	if !mustEval(t, p, row(map[string]Value{"t": Str("van")})) {
+		t.Fatal("negation failed")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// & binds tighter than |.
+	p := MustParse("a=1 | b=1 & c=1")
+	or, ok := p.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("precedence wrong: %s", p)
+	}
+	if _, ok := or.Kids[1].(*And); !ok {
+		t.Fatalf("precedence wrong: %s", p)
+	}
+}
+
+func TestParseTrue(t *testing.T) {
+	p := MustParse("true")
+	if !mustEval(t, p, row(nil)) {
+		t.Fatal("true should evaluate true")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "t=", "=SUV", "t @@ 5", "(a=1", "t in {", "t in {a,", "a=1 b=2", "t ! 5"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	p := MustParse("t=SUV")
+	if _, err := p.Eval(row(nil)); err == nil {
+		t.Fatal("missing column should error")
+	}
+	// Type mismatch: numeric column vs string clause.
+	if _, err := p.Eval(row(map[string]Value{"t": Number(3)})); err == nil {
+		t.Fatal("type mismatch should error")
+	}
+	// Relational operator on strings.
+	p2 := &Clause{Col: "t", Op: OpLt, Val: Str("x")}
+	if _, err := p2.Eval(row(map[string]Value{"t": Str("a")})); err == nil {
+		t.Fatal("string relational should error")
+	}
+}
+
+func TestNumericEval(t *testing.T) {
+	p := MustParse("s>60 & s<65")
+	if !mustEval(t, p, row(map[string]Value{"s": Number(62)})) {
+		t.Fatal("62 should pass")
+	}
+	if mustEval(t, p, row(map[string]Value{"s": Number(70)})) {
+		t.Fatal("70 should fail")
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	pairs := map[Op]Op{OpEq: OpNe, OpNe: OpEq, OpLt: OpGe, OpLe: OpGt, OpGt: OpLe, OpGe: OpLt}
+	for op, want := range pairs {
+		if op.Negate() != want {
+			t.Errorf("%s.Negate() = %s, want %s", op, op.Negate(), want)
+		}
+	}
+}
+
+func TestNNFPushesNegation(t *testing.T) {
+	p := MustParse("!(t=SUV & s>60)")
+	n := NNF(p)
+	// Should become t!=SUV | s<=60.
+	if n.String() != "t!=SUV | s<=60" {
+		t.Fatalf("NNF = %q", n.String())
+	}
+	// Semantics preserved over sample rows.
+	rows := []Lookup{
+		row(map[string]Value{"t": Str("SUV"), "s": Number(70)}),
+		row(map[string]Value{"t": Str("SUV"), "s": Number(50)}),
+		row(map[string]Value{"t": Str("van"), "s": Number(70)}),
+	}
+	for i, r := range rows {
+		if mustEval(t, p, r) != mustEval(t, n, r) {
+			t.Fatalf("NNF changed semantics on row %d", i)
+		}
+	}
+}
+
+func TestNNFDoubleNegation(t *testing.T) {
+	p := MustParse("!(!(t=SUV))")
+	if NNF(p).String() != "t=SUV" {
+		t.Fatalf("NNF = %q", NNF(p).String())
+	}
+}
+
+func TestCNFOfPaperExample(t *testing.T) {
+	// (p ∨ q) ∧ ¬r from Table 3, with p=a=1, q=b=1, r=c=1.
+	p := MustParse("(a=1 | b=1) & !(c=1)")
+	groups := CNF(p)
+	if len(groups) != 2 {
+		t.Fatalf("CNF groups = %d, want 2", len(groups))
+	}
+	var hasPair, hasNegR bool
+	for _, g := range groups {
+		if len(g) == 2 {
+			hasPair = true
+		}
+		if len(g) == 1 && g[0].String() == "c!=1" {
+			hasNegR = true
+		}
+	}
+	if !hasPair || !hasNegR {
+		t.Fatalf("CNF = %v", groups)
+	}
+}
+
+func TestCNFDistributesOrOverAnd(t *testing.T) {
+	// a=1 | (b=1 & c=1) => (a=1|b=1) & (a=1|c=1).
+	p := MustParse("a=1 | (b=1 & c=1)")
+	groups := CNF(p)
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 2 {
+		t.Fatalf("CNF = %v", groups)
+	}
+}
+
+func TestCNFTrue(t *testing.T) {
+	if CNF(True{}) != nil {
+		t.Fatal("CNF(true) should be empty")
+	}
+}
+
+func TestColumnsAndClauses(t *testing.T) {
+	p := MustParse("t=SUV & (s>60 | c=red) & !(t=van)")
+	cols := Columns(p)
+	if strings.Join(cols, ",") != "c,s,t" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	if n := len(Clauses(p)); n != 4 {
+		t.Fatalf("Clauses = %d, want 4", n)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	domains := map[string][]Value{
+		"t": {Str("SUV"), Str("van"), Str("sedan")},
+		"s": {Number(50), Number(62), Number(70)},
+	}
+	p := MustParse("t=SUV & s>60")
+	if !Implies(p, MustParse("t=SUV"), domains) {
+		t.Fatal("conjunct should imply its clause")
+	}
+	if !Implies(p, MustParse("s>55"), domains) {
+		t.Fatal("s>60 should imply s>55")
+	}
+	if Implies(MustParse("t=SUV"), p, domains) {
+		t.Fatal("clause should not imply the conjunction")
+	}
+	if !Implies(MustParse("t=van"), MustParse("t!=SUV"), domains) {
+		t.Fatal("t=van should imply t!=SUV")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if Number(60).String() != "60" {
+		t.Fatalf("Number.String = %q", Number(60).String())
+	}
+	if Str("red").String() != "red" {
+		t.Fatalf("Str.String = %q", Str("red").String())
+	}
+	if !Number(1).Equal(Number(1)) || Number(1).Equal(Str("1")) || !Str("a").Equal(Str("a")) {
+		t.Fatal("Equal wrong")
+	}
+}

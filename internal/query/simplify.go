@@ -1,0 +1,188 @@
+package query
+
+// False is the unsatisfiable predicate. The parser never produces it; it
+// arises from simplification (e.g. the contradiction s>60 ∧ s<50).
+type False struct{}
+
+// Eval implements Pred.
+func (False) Eval(Lookup) (bool, error) { return false, nil }
+
+// String implements Pred.
+func (False) String() string { return "false" }
+
+// Simplify normalizes a predicate: drops true conjuncts and false
+// disjuncts, collapses single-child nodes and constant children, flattens
+// nested conjunctions/disjunctions, removes duplicate clauses, and detects
+// same-column numeric contradictions (s>60 ∧ s<50 ⇒ false) and tautologies.
+// The result is semantically equivalent to the input.
+func Simplify(p Pred) Pred {
+	switch n := p.(type) {
+	case *Clause, True, False:
+		return p
+	case *Not:
+		kid := Simplify(n.Kid)
+		switch k := kid.(type) {
+		case True:
+			return False{}
+		case False:
+			return True{}
+		case *Clause:
+			return k.Negate()
+		case *Not:
+			return k.Kid
+		}
+		return &Not{Kid: kid}
+	case *And:
+		return simplifyAnd(n)
+	case *Or:
+		return simplifyOr(n)
+	}
+	return p
+}
+
+func simplifyAnd(n *And) Pred {
+	var kids []Pred
+	seen := map[string]bool{}
+	for _, k := range n.Kids {
+		s := Simplify(k)
+		switch sk := s.(type) {
+		case True:
+			continue // neutral element
+		case False:
+			return False{}
+		case *And:
+			for _, g := range sk.Kids {
+				if key := g.String(); !seen[key] {
+					seen[key] = true
+					kids = append(kids, g)
+				}
+			}
+			continue
+		}
+		if key := s.String(); seen[key] {
+			continue
+		} else {
+			seen[key] = true
+		}
+		kids = append(kids, s)
+	}
+	if contradictsNumerically(kids) {
+		return False{}
+	}
+	switch len(kids) {
+	case 0:
+		return True{}
+	case 1:
+		return kids[0]
+	}
+	return &And{Kids: kids}
+}
+
+func simplifyOr(n *Or) Pred {
+	var kids []Pred
+	seen := map[string]bool{}
+	for _, k := range n.Kids {
+		s := Simplify(k)
+		switch sk := s.(type) {
+		case False:
+			continue // neutral element
+		case True:
+			return True{}
+		case *Or:
+			for _, g := range sk.Kids {
+				if key := g.String(); !seen[key] {
+					seen[key] = true
+					kids = append(kids, g)
+				}
+			}
+			continue
+		}
+		if key := s.String(); seen[key] {
+			continue
+		} else {
+			seen[key] = true
+		}
+		kids = append(kids, s)
+	}
+	switch len(kids) {
+	case 0:
+		return False{}
+	case 1:
+		return kids[0]
+	}
+	return &Or{Kids: kids}
+}
+
+// contradictsNumerically reports whether the conjunction of top-level
+// clauses is unsatisfiable over some numeric column: an empty interval
+// (lower bound ≥ upper bound), an equality outside the bounds, or two
+// different equalities on the same column (numeric or categorical).
+func contradictsNumerically(kids []Pred) bool {
+	type bounds struct {
+		lo, hi           float64
+		loStrict, hiOpen bool
+		hasLo, hasHi     bool
+		eq               *Value
+	}
+	byCol := map[string]*bounds{}
+	for _, k := range kids {
+		cl, ok := k.(*Clause)
+		if !ok {
+			continue
+		}
+		b := byCol[cl.Col]
+		if b == nil {
+			b = &bounds{}
+			byCol[cl.Col] = b
+		}
+		if cl.Op == OpEq {
+			if b.eq != nil && !b.eq.Equal(cl.Val) {
+				return true // x=a ∧ x=b with a≠b
+			}
+			v := cl.Val
+			b.eq = &v
+			continue
+		}
+		if !cl.Val.IsNum {
+			continue
+		}
+		switch cl.Op {
+		case OpGt:
+			if !b.hasLo || cl.Val.Num >= b.lo {
+				b.lo, b.loStrict, b.hasLo = cl.Val.Num, true, true
+			}
+		case OpGe:
+			if !b.hasLo || cl.Val.Num > b.lo {
+				b.lo, b.loStrict, b.hasLo = cl.Val.Num, false, true
+			}
+		case OpLt:
+			if !b.hasHi || cl.Val.Num <= b.hi {
+				b.hi, b.hiOpen, b.hasHi = cl.Val.Num, true, true
+			}
+		case OpLe:
+			if !b.hasHi || cl.Val.Num < b.hi {
+				b.hi, b.hiOpen, b.hasHi = cl.Val.Num, false, true
+			}
+		}
+	}
+	for _, b := range byCol {
+		if b.hasLo && b.hasHi {
+			if b.lo > b.hi {
+				return true
+			}
+			if b.lo == b.hi && (b.loStrict || b.hiOpen) {
+				return true
+			}
+		}
+		if b.eq != nil && b.eq.IsNum {
+			v := b.eq.Num
+			if b.hasLo && (v < b.lo || (v == b.lo && b.loStrict)) {
+				return true
+			}
+			if b.hasHi && (v > b.hi || (v == b.hi && b.hiOpen)) {
+				return true
+			}
+		}
+	}
+	return false
+}

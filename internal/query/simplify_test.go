@@ -1,0 +1,171 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	// mathx provides the deterministic generator for the equivalence fuzz.
+	"probpred/internal/mathx"
+)
+
+func simp(t *testing.T, in string) string {
+	t.Helper()
+	return Simplify(MustParse(in)).String()
+}
+
+func TestSimplifyDropsTrueConjuncts(t *testing.T) {
+	if got := simp(t, "t=SUV & true"); got != "t=SUV" {
+		t.Fatalf("got %q", got)
+	}
+	if got := simp(t, "true & true"); got != "true" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSimplifyCollapsesDuplicates(t *testing.T) {
+	if got := simp(t, "t=SUV & t=SUV & c=red"); got != "t=SUV & c=red" {
+		t.Fatalf("got %q", got)
+	}
+	if got := simp(t, "t=SUV | t=SUV"); got != "t=SUV" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSimplifyFlattensNesting(t *testing.T) {
+	if got := simp(t, "(t=SUV & c=red) & s>60"); got != "t=SUV & c=red & s>60" {
+		t.Fatalf("got %q", got)
+	}
+	if got := simp(t, "(t=SUV | t=van) | c=red"); got != "t=SUV | t=van | c=red" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSimplifyContradictions(t *testing.T) {
+	for _, in := range []string{
+		"s>60 & s<50",
+		"s>60 & s<60",
+		"s>=61 & s<=60",
+		"s=70 & s<65",
+		"s=40 & s>45",
+		"t=SUV & t=van",
+		"s=10 & s=20",
+	} {
+		if got := simp(t, in); got != "false" {
+			t.Errorf("Simplify(%q) = %q, want false", in, got)
+		}
+	}
+	// Satisfiable boundaries must survive.
+	for _, in := range []string{"s>=60 & s<=60", "s>60 & s<65", "s=60 & s>=60"} {
+		if got := simp(t, in); got == "false" {
+			t.Errorf("Simplify(%q) = false, but it is satisfiable", in)
+		}
+	}
+}
+
+func TestSimplifyNegations(t *testing.T) {
+	if got := simp(t, "!(true)"); got != "false" {
+		t.Fatalf("got %q", got)
+	}
+	if got := simp(t, "!(t=SUV)"); got != "t!=SUV" {
+		t.Fatalf("got %q", got)
+	}
+	if got := simp(t, "!(!(t=SUV))"); got != "t=SUV" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSimplifyOrWithFalseBranch(t *testing.T) {
+	if got := simp(t, "(s>60 & s<50) | c=red"); got != "c=red" {
+		t.Fatalf("got %q", got)
+	}
+	if got := simp(t, "(s>60 & s<50) | (s>10 & s<5)"); got != "false" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFalseSemantics(t *testing.T) {
+	ok, err := (False{}).Eval(func(string) (Value, bool) { return Value{}, false })
+	if err != nil || ok {
+		t.Fatal("False must evaluate to false with no error")
+	}
+}
+
+// Property: simplification preserves semantics over random assignments.
+func TestSimplifyEquivalenceQuick(t *testing.T) {
+	domains := map[string][]Value{
+		"a": {Number(1), Number(2), Number(3)},
+		"b": {Str("x"), Str("y")},
+	}
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		p := randomPred(rng, 3)
+		s := Simplify(p)
+		// Exhaustively compare over the domain cross product.
+		for _, av := range domains["a"] {
+			for _, bv := range domains["b"] {
+				l := func(col string) (Value, bool) {
+					switch col {
+					case "a":
+						return av, true
+					case "b":
+						return bv, true
+					}
+					return Value{}, false
+				}
+				want, err1 := p.Eval(l)
+				got, err2 := s.Eval(l)
+				if (err1 == nil) != (err2 == nil) {
+					return false
+				}
+				if err1 == nil && want != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPred builds a random predicate over columns a (numeric) and b
+// (categorical) with bounded depth.
+func randomPred(rng *mathx.RNG, depth int) Pred {
+	if depth == 0 || rng.Bernoulli(0.4) {
+		if rng.Bernoulli(0.5) {
+			ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+			return &Clause{Col: "a", Op: ops[rng.Intn(len(ops))],
+				Val: Number(float64(1 + rng.Intn(3)))}
+		}
+		ops := []Op{OpEq, OpNe}
+		vals := []string{"x", "y"}
+		return &Clause{Col: "b", Op: ops[rng.Intn(2)], Val: Str(vals[rng.Intn(2)])}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &And{Kids: []Pred{randomPred(rng, depth-1), randomPred(rng, depth-1)}}
+	case 1:
+		return &Or{Kids: []Pred{randomPred(rng, depth-1), randomPred(rng, depth-1)}}
+	case 2:
+		return &Not{Kid: randomPred(rng, depth-1)}
+	default:
+		return True{}
+	}
+}
+
+func TestNNFAndCNFHandleFalse(t *testing.T) {
+	if NNF(False{}).String() != "false" {
+		t.Fatal("NNF(false)")
+	}
+	if NNF(&Not{Kid: False{}}).String() != "true" {
+		t.Fatal("NNF(!false)")
+	}
+	if NNF(&Not{Kid: True{}}).String() != "false" {
+		t.Fatal("NNF(!true)")
+	}
+	groups := CNF(False{})
+	if len(groups) != 1 || len(groups[0]) != 0 {
+		t.Fatalf("CNF(false) = %v, want one empty group", groups)
+	}
+}

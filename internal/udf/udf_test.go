@@ -1,0 +1,184 @@
+package udf
+
+import (
+	"testing"
+
+	"probpred/internal/data"
+	"probpred/internal/engine"
+	"probpred/internal/query"
+)
+
+func trafficRows(t *testing.T, n int) []engine.Row {
+	t.Helper()
+	blobs := data.Traffic(data.TrafficConfig{Rows: n, Seed: 1})
+	rows := make([]engine.Row, n)
+	for i, b := range blobs {
+		rows[i] = engine.NewRow(b)
+	}
+	return rows
+}
+
+func TestTrafficAttributeExact(t *testing.T) {
+	rows := trafficRows(t, 200)
+	u, err := TrafficUDFFor("t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		out, err := u.Apply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("output rows = %d", len(out))
+		}
+		got, err := out[0].Get("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := data.TrafficValue(r.Blob, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("zero-error UDF mislabeled: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestTrafficAttributeErrorRate(t *testing.T) {
+	rows := trafficRows(t, 2000)
+	u := &TrafficAttribute{Col: "c", UDFName: "ColorClassifier", CostMS: 1, ErrRate: 0.2, Seed: 7}
+	wrong := 0
+	for _, r := range rows {
+		out, err := u.Apply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := out[0].Get("c")
+		want, _ := data.TrafficValue(r.Blob, "c")
+		if !got.Equal(want) {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / float64(len(rows))
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("error rate = %v, want ~0.2", frac)
+	}
+}
+
+func TestTrafficAttributeNumericPerturbInRange(t *testing.T) {
+	rows := trafficRows(t, 500)
+	u := &TrafficAttribute{Col: "s", UDFName: "SpeedEstimator", CostMS: 1, ErrRate: 1, Seed: 9}
+	for _, r := range rows {
+		out, err := u.Apply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := out[0].Get("s")
+		if !got.IsNum || got.Num < 0 || got.Num > 80 {
+			t.Fatalf("perturbed speed out of range: %v", got)
+		}
+	}
+}
+
+func TestTrafficUDFForUnknownColumn(t *testing.T) {
+	if _, err := TrafficUDFFor("z", 0, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTrafficPipeline(t *testing.T) {
+	pred := query.MustParse("t=SUV & c=red & s>60")
+	procs, err := TrafficPipeline(pred, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detector + 3 attribute UDFs.
+	if len(procs) != 4 {
+		t.Fatalf("pipeline length = %d", len(procs))
+	}
+	if procs[0].Name() != "VehDetector" {
+		t.Fatalf("first processor = %s", procs[0].Name())
+	}
+	want := float64(VehDetectorCost + TypeClassifierCost + ColorClassifierCost + SpeedEstimatorCost)
+	if got := PipelineCost(procs); got != want {
+		t.Fatalf("pipeline cost = %v, want %v", got, want)
+	}
+}
+
+func TestTrafficPipelineEndToEnd(t *testing.T) {
+	blobs := data.Traffic(data.TrafficConfig{Rows: 500, Seed: 2})
+	pred := query.MustParse("t=SUV & c=red")
+	procs, err := TrafficPipeline(pred, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []engine.Operator{&engine.Scan{Blobs: blobs}}
+	for _, p := range procs {
+		ops = append(ops, &engine.Process{P: p})
+	}
+	ops = append(ops, &engine.Select{Pred: pred})
+	res, err := engine.Run(engine.Plan{Ops: ops}, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth count.
+	set, err := data.TrafficSet(blobs, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != set.Positives() {
+		t.Fatalf("query returned %d rows, truth has %d", len(res.Rows), set.Positives())
+	}
+}
+
+func TestCategoryClassifier(t *testing.T) {
+	d := data.LSHTC(data.LSHTCConfig{Docs: 300, Seed: 3})
+	c := &CategoryClassifier{Dataset: d, Cat: 2, CostMS: 10}
+	match := 0
+	for i, b := range d.Blobs {
+		out, err := c.Apply(engine.NewRow(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := out[0].Get(ColName(2))
+		if (v.Num == 1) != d.Members[2][i] {
+			t.Fatalf("classifier disagrees with membership at %d", i)
+		}
+		if v.Num == 1 {
+			match++
+		}
+	}
+	if match == 0 {
+		t.Fatal("no members found")
+	}
+}
+
+func TestCategoryClassifierOutOfRange(t *testing.T) {
+	d := data.LSHTC(data.LSHTCConfig{Docs: 10, Seed: 4})
+	c := &CategoryClassifier{Dataset: d, Cat: 0, CostMS: 1}
+	bad := engine.NewRow(d.Blobs[0])
+	bad.Blob.ID = 999
+	if _, err := c.Apply(bad); err == nil {
+		t.Fatal("expected error for out-of-range blob")
+	}
+}
+
+func TestFrameObjectDetector(t *testing.T) {
+	v := data.Coral(data.CoralConfig{Frames: 200, Seed: 5})
+	det := FrameObjectDetector{}
+	if det.Cost() != 500 {
+		t.Fatalf("default cost = %v", det.Cost())
+	}
+	for i, f := range v.Frames[:100] {
+		out, err := det.Apply(engine.NewRow(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := out[0].Get("object")
+		if (got.Num == 1) != v.HasObject[i] {
+			t.Fatalf("detector wrong at frame %d", i)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package online exposes the paper's online context (§4, Figure 3b) as
+// public API: at cold start queries run unmodified while their UDF outputs
+// label raw blobs; once enough labels accumulate, PPs train themselves and
+// subsequent decisions inject them; executed runs feed the dependence
+// tracking of Appendix A.5.
+//
+// Typical use:
+//
+//	sys, _ := online.New(online.Config{Clauses: []string{"t=SUV", "c=red"}})
+//	// Per unmodified query run, label blobs from the UDF outputs:
+//	for _, row := range results { sys.Observe(row.Blob, row.Lookup) }
+//	// Per query, once warm:
+//	dec, _ := sys.Decide(pred, 0.95, udfCost)
+//	// After executing an injected plan:
+//	sys.ReportRun(dec, observedReduction)
+package online
+
+import "probpred/internal/online"
+
+// Config shapes the online system: the simple clauses to maintain PPs for,
+// label-count thresholds for first training and retraining, the sliding
+// buffer size, PP training settings and wrangler domains.
+type Config = online.Config
+
+// System manages label collection, (re)training and decisions.
+type System = online.System
+
+// New builds an online system for the given simple clauses.
+func New(cfg Config) (*System, error) { return online.New(cfg) }

@@ -1,0 +1,222 @@
+// Package probpred is a Go implementation of probabilistic predicates (PPs)
+// for accelerating machine-learning inference queries, reproducing
+// "Accelerating Machine Learning Inference with Probabilistic Predicates"
+// (Lu, Chowdhery, Kandula, Chaudhuri — SIGMOD 2018).
+//
+// Inference queries apply expensive UDFs (detectors, feature extractors,
+// classifiers) to raw blobs before a relational predicate can run, so
+// classic predicate pushdown cannot help. A probabilistic predicate is a
+// cheap binary classifier trained per simple predicate clause that runs
+// directly on the raw input and discards blobs that will not satisfy the
+// query predicate, parametrized by a target accuracy a: the fraction of true
+// results the query must retain. PPs never add false positives — the
+// original predicate still runs downstream.
+//
+// The workflow:
+//
+//	// 1. Label blobs for a simple clause and train a PP.
+//	pp, err := probpred.TrainPP("vehType=SUV", trainSet, valSet, probpred.TrainConfig{})
+//
+//	// 2. Register PPs in a corpus and build an optimizer.
+//	corpus := probpred.NewCorpus()
+//	corpus.Add(pp)
+//	opt := probpred.NewOptimizer(corpus)
+//
+//	// 3. For each query, let the optimizer pick a PP combination that is a
+//	// necessary condition of the (possibly complex, possibly unseen)
+//	// predicate and meets the accuracy target.
+//	pred, _ := probpred.ParsePredicate("vehType=SUV & vehColor=red")
+//	dec, _ := opt.Optimize(pred, probpred.OptimizeOptions{Accuracy: 0.95, UDFCost: u})
+//
+//	// 4. Run the query with the PP filter injected ahead of the UDFs.
+//	plan := probpred.BuildPlan(blobs, dec, procs, pred)
+//	res, _ := probpred.RunPlan(plan, probpred.ExecConfig{})
+//
+// The subpackages under internal implement every substrate: the classifier
+// families (linear SVM, KDE over a k-d tree, a feed-forward DNN), dimension
+// reduction (PCA, feature hashing), model selection, the predicate language,
+// the cost-based optimizer extension, a relational mini-engine with a
+// deterministic virtual cost model, synthetic datasets standing in for the
+// paper's (LSHTC, COCO, ImageNet, SUNAttribute, UCF101, DETRAC traffic,
+// NoScope coral), the comparison baselines, and the experiment harness that
+// regenerates every table and figure of the evaluation (see DESIGN.md and
+// EXPERIMENTS.md).
+package probpred
+
+import (
+	"io"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+	"probpred/internal/dimred"
+	"probpred/internal/engine"
+	"probpred/internal/mathx"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+)
+
+// Core data types.
+type (
+	// Blob is one unstructured input item (image, frame, document).
+	Blob = blob.Blob
+	// Set is a collection of blobs with binary labels for one clause.
+	Set = blob.Set
+	// Vec is a dense feature vector.
+	Vec = mathx.Vec
+	// Sparse is a sparse feature vector.
+	Sparse = mathx.Sparse
+	// RNG is the deterministic random number generator used throughout.
+	RNG = mathx.RNG
+)
+
+// PP construction and evaluation.
+type (
+	// PP is a trained probabilistic predicate.
+	PP = core.PP
+	// TrainConfig controls PP construction and model selection.
+	TrainConfig = core.TrainConfig
+	// Metrics summarizes a PP's accuracy/reduction behaviour on a test set.
+	Metrics = core.Metrics
+	// Scorer is the pluggable classifier interface (any real-valued
+	// function with a threshold can be a PP classifier, §5.3).
+	Scorer = core.Scorer
+	// Curve is a PP's accuracy-versus-reduction profile.
+	Curve = core.Curve
+)
+
+// Predicates.
+type (
+	// Pred is a parsed predicate tree.
+	Pred = query.Pred
+	// Clause is a simple clause (column op value).
+	Clause = query.Clause
+	// Value is a column value (number or string).
+	Value = query.Value
+	// Lookup resolves a column name to a value during predicate evaluation.
+	Lookup = query.Lookup
+)
+
+// Optimizer.
+type (
+	// Corpus indexes trained PPs by clause.
+	Corpus = optimizer.Corpus
+	// Optimizer chooses PP combinations for queries.
+	Optimizer = optimizer.Optimizer
+	// OptimizeOptions configures one optimization call.
+	OptimizeOptions = optimizer.Options
+	// Decision is the optimizer's plan choice.
+	Decision = optimizer.Decision
+)
+
+// Execution engine.
+type (
+	// Plan is a physical operator chain.
+	Plan = engine.Plan
+	// ExecConfig models the cluster (parallelism, stage overhead).
+	ExecConfig = engine.Config
+	// ExecResult carries rows plus virtual cluster time and latency.
+	ExecResult = engine.Result
+	// Processor is the per-row UDF template of §4.
+	Processor = engine.Processor
+	// GroupReducer is the grouped UDF template of §4 (object tracking and
+	// other context-based operations over related rows).
+	GroupReducer = engine.Reducer
+	// Combiner is the custom-join UDF template of §4.
+	Combiner = engine.Combiner
+	// Row is one engine tuple: a blob plus materialized columns.
+	Row = engine.Row
+)
+
+// NewRNG returns a deterministic generator for the seed.
+func NewRNG(seed uint64) *RNG { return mathx.NewRNG(seed) }
+
+// FromDense wraps a dense feature vector as a Blob.
+func FromDense(id int, v Vec) Blob { return blob.FromDense(id, v) }
+
+// FromSparse wraps a sparse feature vector as a Blob.
+func FromSparse(id int, s Sparse) Blob { return blob.FromSparse(id, s) }
+
+// TrainPP constructs a probabilistic predicate for a simple clause from a
+// labeled training set and a disjoint validation set. Leave
+// TrainConfig.Approach empty for automatic model selection (§5.5).
+func TrainPP(clause string, train, val Set, cfg TrainConfig) (*PP, error) {
+	return core.Train(clause, train, val, cfg)
+}
+
+// Reducer is the pluggable dimension-reduction interface ψ(·) (§5.4).
+type Reducer = dimred.Reducer
+
+// NewPP assembles a PP from a custom pre-trained Scorer over raw (dense)
+// blob features; see also NewPPWithReducer.
+func NewPP(clause, approach string, scorer Scorer, val Set) (*PP, error) {
+	return core.NewPP(clause, approach, dimred.Identity{Dim: val.Dim()}, scorer, val)
+}
+
+// NewPPWithReducer assembles a PP from custom pre-trained components.
+func NewPPWithReducer(clause, approach string, r Reducer, scorer Scorer, val Set) (*PP, error) {
+	return core.NewPP(clause, approach, r, scorer, val)
+}
+
+// EvaluatePP measures a PP on a labeled test set at target accuracy a.
+func EvaluatePP(pp *PP, test Set, a float64) Metrics { return core.Evaluate(pp, test, a) }
+
+// ParsePredicate parses a predicate such as
+// "t=SUV & c!=white & (s>60 | s<20)".
+func ParsePredicate(s string) (Pred, error) { return query.Parse(s) }
+
+// NewCorpus returns an empty PP corpus.
+func NewCorpus() *Corpus { return optimizer.NewCorpus() }
+
+// NewOptimizer returns a query optimizer over the corpus.
+func NewOptimizer(c *Corpus) *Optimizer { return optimizer.New(c) }
+
+// BuildPlan assembles the standard inference-query plan: scan the blobs,
+// apply the optimizer's PP filter (when dec injects one), run the UDF
+// processors, then the original predicate (Figure 2). A nil dec or a
+// non-injecting decision yields the unmodified NoP plan (Figure 1).
+func BuildPlan(blobs []Blob, dec *Decision, procs []Processor, pred Pred) Plan {
+	ops := []engine.Operator{&engine.Scan{Blobs: blobs}}
+	if dec != nil && dec.Inject {
+		ops = append(ops, &engine.PPFilter{F: dec.Filter})
+	}
+	for _, p := range procs {
+		ops = append(ops, &engine.Process{P: p})
+	}
+	ops = append(ops, &engine.Select{Pred: pred})
+	return Plan{Ops: ops}
+}
+
+// RunPlan executes a plan under the virtual cluster model.
+func RunPlan(p Plan, cfg ExecConfig) (*ExecResult, error) { return engine.Run(p, cfg) }
+
+// ExplainPlan renders a plan's operators with stage boundaries marked.
+func ExplainPlan(p Plan) string { return engine.Explain(p) }
+
+// LoadPP reads a PP previously written with (*PP).Save. Custom Scorer or
+// Reducer implementations must be gob.Register-ed by the caller; the
+// built-in families are registered automatically.
+func LoadPP(r io.Reader) (*PP, error) { return core.LoadPP(r) }
+
+// LoadCorpus reads a corpus previously written with (*Corpus).Save.
+func LoadCorpus(r io.Reader) (*Corpus, error) { return optimizer.LoadCorpus(r) }
+
+// Training-set planning (the batch "outer loop" of §4 Figure 3b, with the
+// budgeted PP-selection problem of Appendix A.1).
+type (
+	// TrainingCandidate is one PP the planner may decide to train.
+	TrainingCandidate = optimizer.TrainingCandidate
+	// TrainingPlan is the planner's chosen set under the budget.
+	TrainingPlan = optimizer.TrainingPlan
+)
+
+// InferClauses extracts the simple clauses of a historical workload with
+// frequencies, including the forms the wrangler can serve (A.2).
+func InferClauses(preds []Pred, domains map[string][]Value) map[string]int {
+	return optimizer.InferClauses(preds, domains)
+}
+
+// SelectTrainingSet greedily approximates A.1's NP-hard budgeted PP
+// selection: maximize summed per-query benefit under a training budget.
+func SelectTrainingSet(candidates []TrainingCandidate, budget float64) (*TrainingPlan, error) {
+	return optimizer.SelectTrainingSet(candidates, budget)
+}
