@@ -26,6 +26,7 @@ var Experiments = map[string]Runner{
 	"ablation-order":  AblationOrdering,
 	"ablation-k":      AblationK,
 	"ablation-model":  AblationModelSelection,
+	"faults":          Faults,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -35,6 +36,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
+	"faults",
 }
 
 // Run executes one experiment by id.

@@ -43,15 +43,27 @@ type Config struct {
 	// Data-parallel clusters pay this per serialized stage regardless of
 	// stage size, which is why SortP's serialized predicate stages lose
 	// latency even while saving resources (§8.2). Zero selects 15000
-	// virtual ms (~15 s per stage, typical for a Cosmos-style batch stage).
+	// virtual ms (~15 s per stage, typical for a Cosmos-style batch stage);
+	// set NoStageOverhead to model an overhead-free substrate.
 	StageOverheadMS float64
+	// NoStageOverhead disables the per-stage latency overhead entirely.
+	// It exists because StageOverheadMS is defaulted on zero, which would
+	// otherwise make "no stage overhead" inexpressible.
+	NoStageOverhead bool
+	// Retry governs transient row-level UDF failures: attempt budget,
+	// exponential backoff charged in virtual ms, and the per-attempt
+	// timeout that turns stragglers into retries. The zero value disables
+	// retries and timeouts.
+	Retry RetryPolicy
 }
 
 func (c *Config) fill() {
 	if c.Parallelism == 0 {
 		c.Parallelism = 16
 	}
-	if c.StageOverheadMS == 0 {
+	if c.NoStageOverhead {
+		c.StageOverheadMS = 0
+	} else if c.StageOverheadMS == 0 {
 		c.StageOverheadMS = 15000
 	}
 }
@@ -89,9 +101,9 @@ func Run(p Plan, cfg Config) (*Result, error) {
 		}
 		st.RowsIn[op.Name()] += len(rows)
 		before := st.OpCost[op.Name()]
-		out, err := runOp(op, rows, st, cfg.Workers)
+		out, err := runOp(op, rows, st, cfg)
 		if err != nil {
-			return nil, err
+			return nil, &OpError{Stage: len(stageCosts) - 1, Op: op.Name(), Err: err}
 		}
 		stageCosts[len(stageCosts)-1] += st.OpCost[op.Name()] - before
 		st.RowsOut[op.Name()] += len(out)

@@ -56,15 +56,23 @@ func (p *Process) StageBoundary() bool { return false }
 
 // Exec implements Operator.
 func (p *Process) Exec(in []Row, st *Stats) ([]Row, error) {
+	return p.exec(in, st, RetryPolicy{})
+}
+
+// exec is Exec under a retry policy: each row's attempts, backoffs and
+// timeouts are charged to the operator's virtual cost.
+func (p *Process) exec(in []Row, st *Stats, pol RetryPolicy) ([]Row, error) {
 	var out []Row
+	total := 0.0
 	for _, r := range in {
-		rows, err := p.P.Apply(r)
+		rows, cost, err := applyWithRetry(p.P, r, pol)
+		total += cost
 		if err != nil {
-			return nil, fmt.Errorf("engine: processor %s: %w", p.P.Name(), err)
+			return nil, fmt.Errorf("processor %s: %w", p.P.Name(), err)
 		}
 		out = append(out, rows...)
 	}
-	st.charge(p.Name(), p.P.Cost()*float64(len(in)))
+	st.charge(p.Name(), total)
 	return out, nil
 }
 

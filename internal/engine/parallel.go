@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Parallel execution: the virtual cost model already charges work as if it
 // ran on a cluster, but the simulator itself can also use real goroutines
@@ -13,15 +16,20 @@ import "sync"
 // (the built-in UDFs are; see udf package notes).
 
 // runOp executes one operator, using the parallel path for row-parallel
-// operators when workers > 1.
-func runOp(op Operator, in []Row, st *Stats, workers int) ([]Row, error) {
+// operators when cfg.Workers > 1 and threading the retry policy into
+// processor execution.
+func runOp(op Operator, in []Row, st *Stats, cfg Config) ([]Row, error) {
+	workers := cfg.Workers
 	if workers > 1 && len(in) >= 2*workers {
 		switch o := op.(type) {
 		case *Process:
-			return o.execParallel(in, st, workers)
+			return o.execParallel(in, st, workers, cfg.Retry)
 		case *PPFilter:
 			return o.execParallel(in, st, workers)
 		}
+	}
+	if p, ok := op.(*Process); ok {
+		return p.exec(in, st, cfg.Retry)
 	}
 	return op.Exec(in, st)
 }
@@ -43,10 +51,13 @@ func chunkBounds(n, workers int) [][2]int {
 	return out
 }
 
-// execParallel applies the processor across chunks concurrently.
-func (p *Process) execParallel(in []Row, st *Stats, workers int) ([]Row, error) {
+// execParallel applies the processor across chunks concurrently, retrying
+// transient row failures under the policy. Per-chunk virtual costs are summed
+// in chunk order so accounting stays deterministic for a given worker count.
+func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy) ([]Row, error) {
 	bounds := chunkBounds(len(in), workers)
 	results := make([][]Row, len(bounds))
+	costs := make([]float64, len(bounds))
 	errs := make([]error, len(bounds))
 	var wg sync.WaitGroup
 	for ci, b := range bounds {
@@ -54,15 +65,19 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int) ([]Row, error) 
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
 			var out []Row
+			total := 0.0
 			for _, r := range in[lo:hi] {
-				rows, err := p.P.Apply(r)
+				rows, cost, err := applyWithRetry(p.P, r, pol)
+				total += cost
 				if err != nil {
-					errs[ci] = err
+					errs[ci] = fmt.Errorf("processor %s: %w", p.P.Name(), err)
+					costs[ci] = total
 					return
 				}
 				out = append(out, rows...)
 			}
 			results[ci] = out
+			costs[ci] = total
 		}(ci, b[0], b[1])
 	}
 	wg.Wait()
@@ -72,10 +87,12 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int) ([]Row, error) 
 		}
 	}
 	var out []Row
-	for _, r := range results {
+	total := 0.0
+	for i, r := range results {
 		out = append(out, r...)
+		total += costs[i]
 	}
-	st.charge(p.Name(), p.P.Cost()*float64(len(in)))
+	st.charge(p.Name(), total)
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 
 	"probpred/internal/blob"
@@ -51,6 +52,108 @@ func TestParallelProcessErrorPropagates(t *testing.T) {
 	}}
 	if _, err := Run(plan, Config{Workers: 4}); err == nil {
 		t.Fatal("expected worker error to propagate")
+	}
+}
+
+// TestParallelRetryMatchesSequential: transient faults plus retries must
+// yield identical rows and virtual costs at any worker count (chunk-order
+// cost summation keeps the accounting deterministic).
+func TestParallelRetryMatchesSequential(t *testing.T) {
+	const n = 403
+	fails := map[int]int{}
+	for id := 0; id < n; id += 11 {
+		fails[id] = 1 + id%2 // every 11th blob fails once or twice
+	}
+	cfg := func(workers int) Config {
+		return Config{Workers: workers,
+			Retry: RetryPolicy{MaxAttempts: 4, BackoffBaseMS: 25, BackoffFactor: 2}}
+	}
+	mk := func(workers int) *Result {
+		f := &flakyUDF{fakeUDF: fakeUDF{name: "U", cost: 9, col: "x"}, fails: copyFails(fails)}
+		plan := Plan{Ops: []Operator{
+			&Scan{Blobs: makeBlobs(n)},
+			&Process{P: f},
+			&Select{Pred: query.MustParse("x>=0")},
+		}}
+		res, err := Run(plan, cfg(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := mk(1)
+	if len(seq.Rows) != n {
+		t.Fatalf("sequential rows = %d, want %d", len(seq.Rows), n)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := mk(workers)
+		if par.ClusterTime != seq.ClusterTime {
+			t.Fatalf("workers=%d: cluster time %v vs %v", workers, par.ClusterTime, seq.ClusterTime)
+		}
+		if len(par.Rows) != len(seq.Rows) {
+			t.Fatalf("workers=%d: rows %d vs %d", workers, len(par.Rows), len(seq.Rows))
+		}
+		for i := range par.Rows {
+			if par.Rows[i].Blob.ID != seq.Rows[i].Blob.ID {
+				t.Fatalf("workers=%d: row order diverged at %d", workers, i)
+			}
+		}
+	}
+}
+
+func copyFails(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TestParallelErrorMidBatch: a processor that exhausts its retry budget in
+// the middle of one worker's chunk must fail the run with full attribution
+// while other workers keep processing their chunks (exercised under -race
+// in CI).
+func TestParallelErrorMidBatch(t *testing.T) {
+	const n = 240
+	f := &flakyUDF{fakeUDF: fakeUDF{name: "U", cost: 3, col: "x"},
+		fails: map[int]int{157: 99}} // always fails: exhausts any budget
+	plan := Plan{Ops: []Operator{
+		&Scan{Blobs: makeBlobs(n)},
+		&Process{P: f},
+	}}
+	_, err := Run(plan, Config{Workers: 4,
+		Retry: RetryPolicy{MaxAttempts: 3, BackoffBaseMS: 1}})
+	if err == nil {
+		t.Fatal("expected mid-batch failure to propagate")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not an OpError", err)
+	}
+	if oe.Op != "U" || oe.Stage != 0 {
+		t.Fatalf("attribution = stage %d op %q", oe.Stage, oe.Op)
+	}
+}
+
+// TestParallelPermanentErrorMidBatch: non-transient failures short-circuit
+// without retries on the parallel path too.
+func TestParallelPermanentErrorMidBatch(t *testing.T) {
+	const n = 200
+	f := &flakyUDF{fakeUDF: fakeUDF{name: "U", cost: 3, col: "x"},
+		fails: map[int]int{31: 1}, permanent: true}
+	plan := Plan{Ops: []Operator{
+		&Scan{Blobs: makeBlobs(n)},
+		&Process{P: f},
+	}}
+	_, err := Run(plan, Config{Workers: 8, Retry: RetryPolicy{MaxAttempts: 5}})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	f.mu.Lock()
+	attempts := f.attempts[31]
+	f.mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("blob 31 attempts = %d: permanent errors must not be retried", attempts)
 	}
 }
 

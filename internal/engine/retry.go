@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RetryPolicy controls how the engine handles transient row-level UDF
+// failures (Config.Retry). A data-parallel cluster restarts failed tasks
+// rather than failing the job; the policy models that in virtual time: every
+// attempt's work and every backoff wait are charged to the operator's virtual
+// cost, so retries show up in ClusterTime and Latency. The zero value retries
+// nothing (one attempt, no timeout), preserving the historical behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per row, including the
+	// first. Zero or one disables retries.
+	MaxAttempts int
+	// BackoffBaseMS is the virtual backoff charged before the first retry.
+	// Zero selects 50 when retries are enabled.
+	BackoffBaseMS float64
+	// BackoffFactor multiplies the backoff per additional retry
+	// (exponential). Zero selects 2.
+	BackoffFactor float64
+	// RowTimeoutMS is the per-attempt virtual timeout budget: an attempt
+	// whose virtual duration exceeds it is killed at the deadline and
+	// treated as a transient failure (stragglers become retries rather than
+	// unbounded latency). Zero disables the timeout.
+	RowTimeoutMS float64
+}
+
+// attempts returns the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the virtual ms charged before retrying after the given
+// 1-based failed attempt.
+func (p RetryPolicy) backoff(attempt int) float64 {
+	base := p.BackoffBaseMS
+	if base == 0 {
+		base = 50
+	}
+	factor := p.BackoffFactor
+	if factor == 0 {
+		factor = 2
+	}
+	return base * math.Pow(factor, float64(attempt-1))
+}
+
+// TimedProcessor is an optional Processor extension for processors whose
+// per-call virtual duration varies from Cost() — e.g. fault-injected
+// stragglers. ApplyTimed reports the call's virtual duration in ms; it is
+// meaningful on failures too (a task can burn time and then die).
+type TimedProcessor interface {
+	Processor
+	ApplyTimed(r Row) ([]Row, float64, error)
+}
+
+// IsTransient reports whether any error in err's chain declares itself
+// retryable via a `Transient() bool` method (e.g. fault.TransientError or
+// the engine's own row timeouts).
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// rowTimeoutError is the engine-raised failure for an attempt that exceeded
+// the policy's per-row virtual budget. It is transient: the next attempt may
+// not straggle.
+type rowTimeoutError struct {
+	op              string
+	elapsed, budget float64
+}
+
+func (e *rowTimeoutError) Error() string {
+	return fmt.Sprintf("engine: %s row ran %.0f virtual ms, exceeding the %.0f ms budget",
+		e.op, e.elapsed, e.budget)
+}
+
+func (e *rowTimeoutError) Transient() bool { return true }
+
+// OpError attributes a run failure to the operator and pipeline stage it
+// occurred in.
+type OpError struct {
+	// Stage is the zero-based pipeline stage index.
+	Stage int
+	// Op is the failing operator's name.
+	Op string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *OpError) Error() string {
+	return fmt.Sprintf("engine: stage %d, operator %s: %v", e.Stage, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *OpError) Unwrap() error { return e.Err }
+
+// applyOnce runs a single attempt, reporting the attempt's virtual duration
+// (Cost() for plain processors; the processor's own accounting for
+// TimedProcessors).
+func applyOnce(p Processor, r Row) ([]Row, float64, error) {
+	if tp, ok := p.(TimedProcessor); ok {
+		return tp.ApplyTimed(r)
+	}
+	rows, err := p.Apply(r)
+	return rows, p.Cost(), err
+}
+
+// applyWithRetry applies a processor to one row under the retry policy. The
+// returned cost is the total virtual ms consumed: every attempt (successful,
+// failed, or killed at the timeout deadline) plus every backoff wait.
+func applyWithRetry(p Processor, r Row, pol RetryPolicy) ([]Row, float64, error) {
+	total := 0.0
+	for attempt := 1; ; attempt++ {
+		rows, elapsed, err := applyOnce(p, r)
+		if pol.RowTimeoutMS > 0 && elapsed > pol.RowTimeoutMS {
+			// The runtime kills the attempt at the deadline: no result, and
+			// only the budget's worth of time was spent.
+			err = &rowTimeoutError{op: p.Name(), elapsed: elapsed, budget: pol.RowTimeoutMS}
+			elapsed = pol.RowTimeoutMS
+			rows = nil
+		}
+		total += elapsed
+		if err == nil {
+			return rows, total, nil
+		}
+		if !IsTransient(err) || attempt >= pol.attempts() {
+			return nil, total, err
+		}
+		total += pol.backoff(attempt)
+	}
+}

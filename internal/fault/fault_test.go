@@ -1,0 +1,122 @@
+package fault
+
+import "testing"
+
+func TestDecideDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		i := NewInjector(42)
+		i.SetDefault(Spec{TransientRate: 0.2, StragglerRate: 0.1})
+		return i
+	}
+	a, b := mk(), mk()
+	for blob := 0; blob < 2000; blob++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			oa := a.Decide("UDF", blob, attempt)
+			ob := b.Decide("UDF", blob, attempt)
+			if oa != ob {
+				t.Fatalf("blob %d attempt %d: %+v vs %+v", blob, attempt, oa, ob)
+			}
+		}
+	}
+}
+
+func TestDecideIndependentOfCallOrder(t *testing.T) {
+	i := NewInjector(7)
+	i.SetDefault(Spec{TransientRate: 0.3})
+	first := i.Decide("X", 123, 1)
+	// Interleave unrelated decisions; the keyed decision must not move.
+	for blob := 0; blob < 500; blob++ {
+		i.Decide("Y", blob, 1)
+	}
+	if got := i.Decide("X", 123, 1); got != first {
+		t.Fatalf("decision drifted with call order: %+v vs %+v", got, first)
+	}
+}
+
+func TestRatesApproximatelyHonored(t *testing.T) {
+	i := NewInjector(99)
+	i.SetDefault(Spec{TransientRate: 0.1, StragglerRate: 0.05, StragglerFactor: 8})
+	const n = 20000
+	fails, slows := 0, 0
+	for blob := 0; blob < n; blob++ {
+		o := i.Decide("UDF", blob, 1)
+		if o.Fail {
+			fails++
+		}
+		if o.SlowFactor > 1 {
+			if o.SlowFactor != 8 {
+				t.Fatalf("slow factor %v, want 8", o.SlowFactor)
+			}
+			slows++
+		}
+	}
+	if f := float64(fails) / n; f < 0.08 || f > 0.12 {
+		t.Fatalf("transient rate %v, want ~0.1", f)
+	}
+	if s := float64(slows) / n; s < 0.035 || s > 0.065 {
+		t.Fatalf("straggler rate %v, want ~0.05", s)
+	}
+}
+
+func TestMaxConsecutiveCapsFailures(t *testing.T) {
+	i := NewInjector(5)
+	i.SetDefault(Spec{TransientRate: 1, MaxConsecutive: 3})
+	for blob := 0; blob < 100; blob++ {
+		for attempt := 1; attempt <= 3; attempt++ {
+			if !i.Decide("UDF", blob, attempt).Fail {
+				t.Fatalf("rate 1 must fail within the burst (blob %d attempt %d)", blob, attempt)
+			}
+		}
+		if i.Decide("UDF", blob, 4).Fail {
+			t.Fatalf("blob %d still failing beyond MaxConsecutive", blob)
+		}
+	}
+}
+
+func TestPerOpSpecOverridesDefault(t *testing.T) {
+	i := NewInjector(11)
+	i.SetDefault(Spec{TransientRate: 1})
+	i.Set("Healthy", Spec{})
+	for blob := 0; blob < 50; blob++ {
+		if i.Decide("Healthy", blob, 1).Fail {
+			t.Fatal("per-op override ignored")
+		}
+		if !i.Decide("Other", blob, 1).Fail {
+			t.Fatal("default spec ignored")
+		}
+	}
+}
+
+func TestNoFaultsByDefault(t *testing.T) {
+	i := NewInjector(1)
+	for blob := 0; blob < 100; blob++ {
+		o := i.Decide("UDF", blob, 1)
+		if o.Fail || o.SlowFactor != 1 {
+			t.Fatalf("unconfigured injector produced %+v", o)
+		}
+	}
+}
+
+func TestExpectedSurvival(t *testing.T) {
+	s := Spec{TransientRate: 0.1, MaxConsecutive: 3}
+	if got := ExpectedSurvival(s, 4); got != 1 {
+		t.Fatalf("survival with budget past the burst cap = %v, want 1", got)
+	}
+	if got := ExpectedSurvival(s, 1); got < 0.89 || got > 0.91 {
+		t.Fatalf("single-attempt survival = %v, want 0.9", got)
+	}
+	if got := ExpectedSurvival(Spec{}, 1); got != 1 {
+		t.Fatalf("fault-free survival = %v, want 1", got)
+	}
+}
+
+func TestTransientErrorMessage(t *testing.T) {
+	e := &TransientError{Op: "TypeClassifier", BlobID: 7, Attempt: 2}
+	if !e.Transient() {
+		t.Fatal("TransientError must report transient")
+	}
+	want := "fault: transient failure in TypeClassifier on blob 7 (attempt 2)"
+	if e.Error() != want {
+		t.Fatalf("message %q", e.Error())
+	}
+}

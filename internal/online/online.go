@@ -4,6 +4,26 @@
 // once enough labeled input accumulates, PPs are (re)trained and subsequent
 // runs of the queries use plans containing them. Runtime observations feed
 // the A.5 dependence fix.
+//
+// # Accuracy watchdog
+//
+// The same observed-vs-estimated feedback channel drives a per-clause
+// accuracy watchdog: after executing an injected plan, callers report the
+// realized accuracy (the fraction of the reference output the PP retained)
+// against the target they asked for. K consecutive below-target reports trip
+// a circuit breaker for every PP in that decision — the PP leaves the corpus,
+// so subsequent Decide calls fall back to the unmodified NoP plan (which is
+// always correct: PPs only ever remove work, never results), and the clause
+// is queued for retraining on fresh labels. Once retrained, the PP re-enters
+// on probation: the next report either closes the breaker or trips it again.
+//
+//	dec, _ := sys.Decide(pred, 0.95, udfCost)
+//	// ... execute; measure observed accuracy vs the reference output ...
+//	sys.ReportAccuracy(dec, observed, 0.95)
+//	if sys.Breaker("t=SUV") == online.BreakerOpen {
+//	    // the system is running this clause's queries unmodified and
+//	    // collecting fresh labels until a retrained PP passes probation
+//	}
 package online
 
 import (
@@ -37,6 +57,23 @@ type Config struct {
 	Domains map[string][]query.Value
 	// Seed drives splits.
 	Seed uint64
+	// Watchdog shapes the accuracy circuit breaker.
+	Watchdog WatchdogConfig
+}
+
+// WatchdogConfig shapes the per-clause accuracy circuit breaker.
+type WatchdogConfig struct {
+	// K is how many consecutive below-target accuracy reports trip a
+	// clause's breaker. Zero selects 3.
+	K int
+	// Margin is the absolute accuracy slack tolerated below the target
+	// before a report counts as a breach (observed >= target-Margin
+	// passes). Zero means the target is enforced exactly.
+	Margin float64
+	// FreshLabels is how many labels a tripped clause must collect before
+	// its retraining runs — retraining on the very buffer that produced the
+	// bad PP would reproduce it. Zero selects MinLabels/4 (at least 1).
+	FreshLabels int
 }
 
 func (c *Config) fill() {
@@ -49,15 +86,56 @@ func (c *Config) fill() {
 	if c.BufferCap == 0 {
 		c.BufferCap = 4000
 	}
+	if c.Watchdog.K == 0 {
+		c.Watchdog.K = 3
+	}
+	if c.Watchdog.FreshLabels == 0 {
+		c.Watchdog.FreshLabels = c.MinLabels / 4
+		if c.Watchdog.FreshLabels < 1 {
+			c.Watchdog.FreshLabels = 1
+		}
+	}
 }
 
-// clauseState tracks one clause's label buffer and training status.
+// BreakerState is the accuracy watchdog's per-clause circuit state.
+type BreakerState int
+
+const (
+	// BreakerClosed: the clause's PP (if trained) serves decisions normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the watchdog tripped; the PP is out of the corpus,
+	// queries fall back to the unmodified NoP plan, and the clause is
+	// collecting fresh labels for retraining.
+	BreakerOpen
+	// BreakerProbation: a retrained PP is live again; the next accuracy
+	// report either closes the breaker or trips it again.
+	BreakerProbation
+)
+
+// String renders the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerProbation:
+		return "probation"
+	default:
+		return "closed"
+	}
+}
+
+// clauseState tracks one clause's label buffer, training status and
+// watchdog circuit.
 type clauseState struct {
 	pred           query.Pred
 	blobs          []blob.Blob
 	labels         []bool
 	sinceLastTrain int
 	trained        bool
+	breaker        BreakerState
+	// breaches counts consecutive below-target accuracy reports while the
+	// breaker is closed.
+	breaches int
 }
 
 // System is the online PP manager.
@@ -70,6 +148,8 @@ type System struct {
 	rng     *mathx.RNG
 	// Trainings counts PP (re)trainings performed, for tests and reports.
 	Trainings int
+	// Trips counts watchdog circuit-breaker trips.
+	Trips int
 }
 
 // New builds the system; it validates that every clause parses as a simple
@@ -127,10 +207,19 @@ func (s *System) Observe(b blob.Blob, l query.Lookup) error {
 	return nil
 }
 
-// maybeTrain (re)trains a clause's PP when enough labels accumulated.
+// maybeTrain (re)trains a clause's PP when enough labels accumulated. A
+// clause whose breaker tripped retrains as soon as it has collected enough
+// fresh labels, then re-enters on probation.
 func (s *System) maybeTrain(key string, st *clauseState) error {
-	ready := (!st.trained && len(st.blobs) >= s.cfg.MinLabels) ||
-		(st.trained && st.sinceLastTrain >= s.cfg.RetrainEvery)
+	var ready bool
+	switch {
+	case st.breaker == BreakerOpen:
+		ready = st.sinceLastTrain >= s.cfg.Watchdog.FreshLabels
+	case !st.trained:
+		ready = len(st.blobs) >= s.cfg.MinLabels
+	default:
+		ready = st.sinceLastTrain >= s.cfg.RetrainEvery
+	}
 	if !ready {
 		return nil
 	}
@@ -153,6 +242,9 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	st.trained = true
 	st.sinceLastTrain = 0
 	s.Trainings++
+	if st.breaker == BreakerOpen {
+		st.breaker = BreakerProbation
+	}
 	return nil
 }
 
@@ -181,6 +273,105 @@ func (s *System) Decide(pred query.Pred, accuracy, udfCost float64) (*optimizer.
 // the optimizer's dependence tracking (A.5).
 func (s *System) ReportRun(dec *optimizer.Decision, observedReduction float64) {
 	s.opt.ObserveRuntime(dec, observedReduction)
+}
+
+// ReportAccuracy feeds the realized accuracy of an executed injected
+// decision (the fraction of the reference output retained) to the watchdog.
+// Decision-level accuracy cannot be attributed to a single PP, so — like
+// A.5's dependence flagging — every PP leaf of the decision is charged
+// conservatively. K consecutive breaches trip a clause's breaker: its PP
+// leaves the corpus (queries fall back to the unmodified, always-correct NoP
+// plan) and the clause retrains on fresh labels before re-entering on
+// probation.
+func (s *System) ReportAccuracy(dec *optimizer.Decision, observed, target float64) {
+	if dec == nil || !dec.Inject {
+		return
+	}
+	pass := observed >= target-s.cfg.Watchdog.Margin
+	for _, leaf := range dec.LeafClauses() {
+		key, st := s.resolveClause(leaf)
+		if st == nil {
+			continue // a PP this system does not manage (e.g. preloaded corpus)
+		}
+		s.reportClause(key, st, pass)
+	}
+}
+
+// resolveClause maps a decision leaf to the managed clause it trains under:
+// a direct match, or the base clause of a negation-derived PP (§5.6: the
+// classifier is shared, so the base clause is what retrains).
+func (s *System) resolveClause(leaf string) (string, *clauseState) {
+	if st, ok := s.clauses[leaf]; ok {
+		return leaf, st
+	}
+	p, err := query.Parse(leaf)
+	if err != nil {
+		return "", nil
+	}
+	cl, ok := p.(*query.Clause)
+	if !ok {
+		return "", nil
+	}
+	base := cl.Negate().String()
+	if st, ok := s.clauses[base]; ok {
+		return base, st
+	}
+	return "", nil
+}
+
+// reportClause advances one clause's breaker state machine.
+func (s *System) reportClause(key string, st *clauseState, pass bool) {
+	switch st.breaker {
+	case BreakerClosed:
+		if pass {
+			st.breaches = 0
+			return
+		}
+		st.breaches++
+		if st.breaches >= s.cfg.Watchdog.K {
+			s.trip(key, st)
+		}
+	case BreakerProbation:
+		if pass {
+			st.breaker = BreakerClosed
+			st.breaches = 0
+		} else {
+			s.trip(key, st)
+		}
+	case BreakerOpen:
+		// Nothing is injected while open; stale reports are ignored.
+	}
+}
+
+// trip opens a clause's breaker: the PP leaves the corpus so decisions fall
+// back to the NoP plan, and the clause queues for retraining on fresh labels.
+func (s *System) trip(key string, st *clauseState) {
+	st.breaker = BreakerOpen
+	st.breaches = 0
+	st.trained = false
+	st.sinceLastTrain = 0
+	s.corpus.Remove(key)
+	s.Trips++
+}
+
+// Breaker returns a clause's watchdog state (BreakerClosed for clauses this
+// system does not manage).
+func (s *System) Breaker(clause string) BreakerState {
+	if st, ok := s.clauses[clause]; ok {
+		return st.breaker
+	}
+	return BreakerClosed
+}
+
+// TrippedClauses returns the clauses whose breaker is currently open.
+func (s *System) TrippedClauses() []string {
+	var out []string
+	for _, key := range s.order {
+		if s.clauses[key].breaker == BreakerOpen {
+			out = append(out, key)
+		}
+	}
+	return out
 }
 
 // Corpus exposes the live corpus (e.g. for persistence).

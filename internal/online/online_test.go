@@ -5,6 +5,7 @@ import (
 
 	"probpred/internal/core"
 	"probpred/internal/data"
+	"probpred/internal/optimizer"
 	"probpred/internal/query"
 )
 
@@ -196,6 +197,201 @@ func TestReportRunFeedsDependence(t *testing.T) {
 	}
 	if dec2.Inject && dec2.NumPPs > 1 {
 		t.Fatal("dependence feedback ignored")
+	}
+}
+
+// warmSystem trains a one-clause system on a stream prefix and returns the
+// system, the stream, and an injecting decision.
+func warmSystem(t *testing.T, cfg Config, clause, pred string, rows int) (*System, *optimizer.Decision) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := data.Traffic(data.TrafficConfig{Rows: rows, Seed: 31})
+	for _, b := range stream {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := s.Decide(query.MustParse(pred), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject {
+		t.Fatalf("warm system should inject for %s", pred)
+	}
+	if got := s.Breaker(clause); got != BreakerClosed {
+		t.Fatalf("breaker = %v before any report", got)
+	}
+	return s, dec
+}
+
+func watchdogConfig() Config {
+	return Config{
+		Clauses:   []string{"t=SUV"},
+		MinLabels: 300,
+		Train:     core.TrainConfig{Approach: "Raw+SVM"},
+		Domains:   data.TrafficDomains(),
+		Seed:      30,
+		Watchdog:  WatchdogConfig{K: 3, FreshLabels: 200},
+	}
+}
+
+// TestWatchdogTripsWithinKAndFallsBack: K consecutive below-target reports
+// open the breaker; decisions then fall back to the NoP plan (no injection,
+// hence zero lost true positives by construction).
+func TestWatchdogTripsWithinKAndFallsBack(t *testing.T) {
+	s, dec := warmSystem(t, watchdogConfig(), "t=SUV", "t=SUV", 900)
+	// Two breaches do not trip; accuracy recovering resets the count.
+	s.ReportAccuracy(dec, 0.80, 0.95)
+	s.ReportAccuracy(dec, 0.82, 0.95)
+	if s.Breaker("t=SUV") != BreakerClosed {
+		t.Fatal("tripped before K breaches")
+	}
+	s.ReportAccuracy(dec, 0.96, 0.95) // pass resets the streak
+	s.ReportAccuracy(dec, 0.80, 0.95)
+	s.ReportAccuracy(dec, 0.80, 0.95)
+	if s.Breaker("t=SUV") != BreakerClosed {
+		t.Fatal("breach streak must reset on a passing report")
+	}
+	s.ReportAccuracy(dec, 0.80, 0.95) // third consecutive breach: trip
+	if s.Breaker("t=SUV") != BreakerOpen {
+		t.Fatalf("breaker = %v after K consecutive breaches", s.Breaker("t=SUV"))
+	}
+	if s.Trips != 1 {
+		t.Fatalf("trips = %d", s.Trips)
+	}
+	if got := s.TrippedClauses(); len(got) != 1 || got[0] != "t=SUV" {
+		t.Fatalf("tripped = %v", got)
+	}
+	// Fallback: the PP left the corpus, so the query runs unmodified.
+	dec2, err := s.Decide(query.MustParse("t=SUV"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Inject {
+		t.Fatal("open breaker must force the NoP fallback")
+	}
+}
+
+// TestWatchdogRetrainsAndReenables: a tripped clause retrains once enough
+// fresh labels arrive, serves on probation, and closes after a passing run.
+func TestWatchdogRetrainsAndReenables(t *testing.T) {
+	s, dec := warmSystem(t, watchdogConfig(), "t=SUV", "t=SUV", 900)
+	for i := 0; i < 3; i++ {
+		s.ReportAccuracy(dec, 0.5, 0.95)
+	}
+	if s.Breaker("t=SUV") != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	trainingsAtTrip := s.Trainings
+	// Fresh labels stream in while queries run unmodified; fewer than
+	// FreshLabels must not retrain yet.
+	fresh := data.Traffic(data.TrafficConfig{Rows: 400, Seed: 33})
+	for _, b := range fresh[:150] {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Breaker("t=SUV") != BreakerOpen {
+		t.Fatal("retrained before FreshLabels fresh labels")
+	}
+	for _, b := range fresh[150:] {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Breaker("t=SUV") != BreakerProbation {
+		t.Fatalf("breaker = %v after retraining", s.Breaker("t=SUV"))
+	}
+	if s.Trainings != trainingsAtTrip+1 {
+		t.Fatalf("trainings = %d, want %d", s.Trainings, trainingsAtTrip+1)
+	}
+	// Probation PP serves decisions again.
+	dec2, err := s.Decide(query.MustParse("t=SUV"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec2.Inject {
+		t.Fatal("probation PP should serve decisions")
+	}
+	s.ReportAccuracy(dec2, 0.97, 0.95)
+	if s.Breaker("t=SUV") != BreakerClosed {
+		t.Fatalf("breaker = %v after passing probation", s.Breaker("t=SUV"))
+	}
+}
+
+// TestWatchdogProbationFailureTripsAgain: a retrained PP that still misses
+// its target goes straight back to open.
+func TestWatchdogProbationFailureTripsAgain(t *testing.T) {
+	s, dec := warmSystem(t, watchdogConfig(), "t=SUV", "t=SUV", 900)
+	for i := 0; i < 3; i++ {
+		s.ReportAccuracy(dec, 0.5, 0.95)
+	}
+	fresh := data.Traffic(data.TrafficConfig{Rows: 300, Seed: 34})
+	for _, b := range fresh {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Breaker("t=SUV") != BreakerProbation {
+		t.Fatalf("breaker = %v, want probation", s.Breaker("t=SUV"))
+	}
+	dec2, err := s.Decide(query.MustParse("t=SUV"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ReportAccuracy(dec2, 0.5, 0.95) // probation run fails
+	if s.Breaker("t=SUV") != BreakerOpen {
+		t.Fatalf("breaker = %v after failed probation", s.Breaker("t=SUV"))
+	}
+	if s.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", s.Trips)
+	}
+}
+
+// TestWatchdogMargin: reports within the configured slack are not breaches.
+func TestWatchdogMargin(t *testing.T) {
+	cfg := watchdogConfig()
+	cfg.Watchdog.Margin = 0.05
+	s, dec := warmSystem(t, cfg, "t=SUV", "t=SUV", 900)
+	for i := 0; i < 10; i++ {
+		s.ReportAccuracy(dec, 0.91, 0.95) // within the 0.05 margin
+	}
+	if s.Breaker("t=SUV") != BreakerClosed {
+		t.Fatal("in-margin reports must not breach")
+	}
+}
+
+// TestWatchdogResolvesNegationDerivedLeaves: a decision injecting a
+// negation-derived PP (e.g. PP[c!=white] from the c=white classifier) charges
+// the base clause the system actually manages.
+func TestWatchdogResolvesNegationDerivedLeaves(t *testing.T) {
+	cfg := watchdogConfig()
+	cfg.Clauses = []string{"c=white"}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := data.Traffic(data.TrafficConfig{Rows: 900, Seed: 35})
+	for _, b := range stream {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := s.Decide(query.MustParse("c!=white"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject {
+		t.Skip("negated clause did not inject on this seed")
+	}
+	for i := 0; i < 3; i++ {
+		s.ReportAccuracy(dec, 0.5, 0.95)
+	}
+	if s.Breaker("c=white") != BreakerOpen {
+		t.Fatalf("base clause breaker = %v, want open", s.Breaker("c=white"))
 	}
 }
 

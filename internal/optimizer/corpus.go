@@ -31,6 +31,20 @@ func NewCorpus() *Corpus {
 // PP for the same clause.
 func (c *Corpus) Add(pp *core.PP) { c.pps[pp.Clause] = pp }
 
+// Remove deletes the PP trained for the clause key, reporting whether one
+// was present. Negation-derived PPs share the removed classifier, so the
+// derivation cache is dropped wholesale (it repopulates lazily from the
+// remaining PPs). Used by the online watchdog to stop injecting a PP whose
+// observed accuracy has degraded.
+func (c *Corpus) Remove(clause string) bool {
+	if _, ok := c.pps[clause]; !ok {
+		return false
+	}
+	delete(c.pps, clause)
+	c.negCache = map[string]*core.PP{}
+	return true
+}
+
 // Size returns the number of directly-trained PPs.
 func (c *Corpus) Size() int { return len(c.pps) }
 

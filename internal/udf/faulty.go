@@ -1,0 +1,95 @@
+package udf
+
+import (
+	"sync"
+
+	"probpred/internal/engine"
+	"probpred/internal/fault"
+)
+
+// FaultyProcessor wraps any engine.Processor with injector-driven transient
+// failures and stragglers, without touching the wrapped UDF's logic. It
+// implements engine.TimedProcessor so that straggling attempts report their
+// inflated virtual duration, which the engine's per-row timeout budget can
+// then convert into a retry.
+//
+// Attempt numbers are tracked per blob: each Apply of the same blob (i.e.
+// each engine retry) advances the attempt, and the injector's decisions are
+// a pure function of (operator, blob, attempt) — so outcomes are identical
+// whether the engine runs sequentially or chunked across workers. A wrapper
+// instance accumulates attempt state across one engine.Run; call Reset (or
+// build fresh wrappers) before reusing it for another run.
+type FaultyProcessor struct {
+	P   engine.Processor
+	Inj *fault.Injector
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+// Faulty wraps p with the injector's fault model.
+func Faulty(p engine.Processor, inj *fault.Injector) *FaultyProcessor {
+	return &FaultyProcessor{P: p, Inj: inj, attempts: map[int]int{}}
+}
+
+// Name implements engine.Processor, passing the wrapped name through so
+// fault specs and cost accounting address the real UDF.
+func (f *FaultyProcessor) Name() string { return f.P.Name() }
+
+// Cost implements engine.Processor: the nominal (healthy-attempt) cost.
+func (f *FaultyProcessor) Cost() float64 { return f.P.Cost() }
+
+// Apply implements engine.Processor.
+func (f *FaultyProcessor) Apply(r engine.Row) ([]engine.Row, error) {
+	rows, _, err := f.ApplyTimed(r)
+	return rows, err
+}
+
+// ApplyTimed implements engine.TimedProcessor: it consults the injector for
+// this blob's next attempt, failing transiently or inflating the reported
+// virtual duration as decided, and otherwise delegates to the wrapped UDF.
+func (f *FaultyProcessor) ApplyTimed(r engine.Row) ([]engine.Row, float64, error) {
+	attempt := f.nextAttempt(r.Blob.ID)
+	out := f.Inj.Decide(f.Name(), r.Blob.ID, attempt)
+	elapsed := f.P.Cost() * out.SlowFactor
+	if out.Fail {
+		return nil, elapsed, &fault.TransientError{Op: f.Name(), BlobID: r.Blob.ID, Attempt: attempt}
+	}
+	rows, err := f.P.Apply(r)
+	return rows, elapsed, err
+}
+
+// Reset clears the per-blob attempt state so the wrapper replays the same
+// fault schedule on a fresh engine.Run.
+func (f *FaultyProcessor) Reset() {
+	f.mu.Lock()
+	f.attempts = map[int]int{}
+	f.mu.Unlock()
+}
+
+// Attempts reports how many attempts the blob has consumed so far.
+func (f *FaultyProcessor) Attempts(blobID int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts[blobID]
+}
+
+func (f *FaultyProcessor) nextAttempt(blobID int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.attempts == nil {
+		f.attempts = map[int]int{}
+	}
+	f.attempts[blobID]++
+	return f.attempts[blobID]
+}
+
+// FaultyPipeline wraps every processor of a chain with the same injector —
+// the one-call way to make a whole simulated UDF pipeline flaky.
+func FaultyPipeline(procs []engine.Processor, inj *fault.Injector) []engine.Processor {
+	out := make([]engine.Processor, len(procs))
+	for i, p := range procs {
+		out[i] = Faulty(p, inj)
+	}
+	return out
+}

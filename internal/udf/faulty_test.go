@@ -1,0 +1,199 @@
+package udf
+
+import (
+	"errors"
+	"testing"
+
+	"probpred/internal/data"
+	"probpred/internal/engine"
+	"probpred/internal/fault"
+	"probpred/internal/query"
+)
+
+func trafficBlobsForTest(n int, seed uint64) []engine.Row {
+	stream := data.Traffic(data.TrafficConfig{Rows: n, Seed: seed})
+	rows := make([]engine.Row, n)
+	for i, b := range stream {
+		rows[i] = engine.NewRow(b)
+	}
+	return rows
+}
+
+func TestFaultyPassthrough(t *testing.T) {
+	p, err := TrafficUDFFor("t", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Faulty(p, fault.NewInjector(1)) // no faults configured
+	if f.Name() != p.Name() || f.Cost() != p.Cost() {
+		t.Fatal("wrapper must pass name and cost through")
+	}
+	for _, r := range trafficBlobsForTest(50, 2) {
+		want, err := p.Apply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, elapsed, err := f.ApplyTimed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed != p.Cost() {
+			t.Fatalf("healthy elapsed = %v, want %v", elapsed, p.Cost())
+		}
+		gv, _ := got[0].Get("t")
+		wv, _ := want[0].Get("t")
+		if gv != wv {
+			t.Fatalf("wrapper changed output: %v vs %v", gv, wv)
+		}
+	}
+}
+
+func TestFaultyInjectsTransientsAndRecovers(t *testing.T) {
+	p, err := TrafficUDFFor("c", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(7)
+	inj.SetDefault(fault.Spec{TransientRate: 0.3, MaxConsecutive: 3})
+	f := Faulty(p, inj)
+	rows := trafficBlobsForTest(400, 4)
+	sawFault := false
+	for _, r := range rows {
+		// Emulate the engine's retry loop with a generous budget.
+		var lastErr error
+		ok := false
+		for attempt := 0; attempt < 5; attempt++ {
+			_, _, err := f.ApplyTimed(r)
+			if err == nil {
+				ok = true
+				break
+			}
+			lastErr = err
+			var te *fault.TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawFault = true
+		}
+		if !ok {
+			t.Fatalf("blob %d never recovered: %v", r.Blob.ID, lastErr)
+		}
+	}
+	if !sawFault {
+		t.Fatal("30% rate injected nothing over 400 blobs")
+	}
+}
+
+func TestFaultyStragglerInflatesElapsed(t *testing.T) {
+	p, err := TrafficUDFFor("s", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(11)
+	inj.SetDefault(fault.Spec{StragglerRate: 0.2, StragglerFactor: 12})
+	f := Faulty(p, inj)
+	slow := 0
+	for _, r := range trafficBlobsForTest(300, 6) {
+		_, elapsed, err := f.ApplyTimed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch elapsed {
+		case p.Cost():
+		case p.Cost() * 12:
+			slow++
+		default:
+			t.Fatalf("elapsed = %v, want cost or 12x cost", elapsed)
+		}
+	}
+	if slow < 30 || slow > 90 {
+		t.Fatalf("stragglers = %d/300, want ~60", slow)
+	}
+}
+
+func TestFaultyResetReplaysSchedule(t *testing.T) {
+	p, err := TrafficUDFFor("t", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(13)
+	inj.SetDefault(fault.Spec{TransientRate: 0.5})
+	f := Faulty(p, inj)
+	rows := trafficBlobsForTest(100, 8)
+	record := func() []bool {
+		out := make([]bool, len(rows))
+		for i, r := range rows {
+			_, _, err := f.ApplyTimed(r)
+			out[i] = err != nil
+		}
+		return out
+	}
+	first := record()
+	f.Reset()
+	second := record()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("schedule diverged at blob %d after Reset", i)
+		}
+	}
+}
+
+// TestFaultyEndToEndByteIdentical is the wrapper-level version of the
+// acceptance criterion: a full plan with 10% transient injection and retries
+// produces exactly the rows of the fault-free run, while charging more
+// virtual time.
+func TestFaultyEndToEndByteIdentical(t *testing.T) {
+	stream := data.Traffic(data.TrafficConfig{Rows: 1500, Seed: 21})
+	pred := query.MustParse("t=SUV & s>50")
+	mkPlan := func(inj *fault.Injector) (engine.Plan, error) {
+		procs, err := TrafficPipeline(pred, 0, 21)
+		if err != nil {
+			return engine.Plan{}, err
+		}
+		if inj != nil {
+			procs = FaultyPipeline(procs, inj)
+		}
+		ops := []engine.Operator{&engine.Scan{Blobs: stream}}
+		for _, p := range procs {
+			ops = append(ops, &engine.Process{P: p})
+		}
+		ops = append(ops, &engine.Select{Pred: pred})
+		return engine.Plan{Ops: ops}, nil
+	}
+	clean, err := mkPlan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Run(clean, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(77)
+	inj.SetDefault(fault.Spec{TransientRate: 0.10, StragglerRate: 0.02, StragglerFactor: 10, MaxConsecutive: 3})
+	flaky, err := mkPlan(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(flaky, engine.Config{
+		Retry: engine.RetryPolicy{MaxAttempts: 6, BackoffBaseMS: 20, RowTimeoutMS: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ref.Rows) {
+		t.Fatalf("rows %d vs %d", len(res.Rows), len(ref.Rows))
+	}
+	for i := range res.Rows {
+		if res.Rows[i].Blob.ID != ref.Rows[i].Blob.ID {
+			t.Fatalf("row %d diverged", i)
+		}
+		for col, v := range ref.Rows[i].Cols {
+			if got, err := res.Rows[i].Get(col); err != nil || got != v {
+				t.Fatalf("row %d col %s: %v vs %v", i, col, got, v)
+			}
+		}
+	}
+	if res.ClusterTime <= ref.ClusterTime {
+		t.Fatalf("retry work must be charged: %v vs %v", res.ClusterTime, ref.ClusterTime)
+	}
+}

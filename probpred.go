@@ -50,9 +50,11 @@ import (
 	"probpred/internal/core"
 	"probpred/internal/dimred"
 	"probpred/internal/engine"
+	"probpred/internal/fault"
 	"probpred/internal/mathx"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
+	"probpred/internal/udf"
 )
 
 // Core data types.
@@ -126,6 +128,35 @@ type (
 	// Row is one engine tuple: a blob plus materialized columns.
 	Row = engine.Row
 )
+
+// Fault tolerance: production UDFs hit transient errors and stragglers; the
+// engine retries them in virtual time and the fault package injects them
+// deterministically for experiments.
+type (
+	// RetryPolicy configures the engine's transient-failure handling
+	// (ExecConfig.Retry): attempt budget, exponential backoff charged in
+	// virtual ms, and the per-row timeout that turns stragglers into
+	// retries.
+	RetryPolicy = engine.RetryPolicy
+	// OpError attributes a plan failure to its operator and pipeline stage.
+	OpError = engine.OpError
+	// FaultInjector decides per-attempt fault outcomes deterministically
+	// from a seed.
+	FaultInjector = fault.Injector
+	// FaultSpec configures one operator's transient and straggler rates.
+	FaultSpec = fault.Spec
+)
+
+// NewFaultInjector returns an injector with no faults configured.
+func NewFaultInjector(seed uint64) *FaultInjector { return fault.NewInjector(seed) }
+
+// MakeFaulty wraps a Processor with injector-driven transient failures and
+// stragglers, leaving the wrapped UDF's logic untouched.
+func MakeFaulty(p Processor, inj *FaultInjector) Processor { return udf.Faulty(p, inj) }
+
+// IsTransientError reports whether an error from RunPlan is retryable (an
+// injected transient fault or an engine row timeout).
+func IsTransientError(err error) bool { return engine.IsTransient(err) }
 
 // NewRNG returns a deterministic generator for the seed.
 func NewRNG(seed uint64) *RNG { return mathx.NewRNG(seed) }
