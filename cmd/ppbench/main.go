@@ -4,14 +4,23 @@
 // Usage:
 //
 //	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
+//	        [-json BENCH_pp.json] [-pprof localhost:6060]
 //
 // The experiment ids match DESIGN.md's per-experiment index. Output of a
 // full run is recorded in EXPERIMENTS.md next to the paper's numbers.
+//
+// With -json, every experiment additionally runs under a trace collector and
+// a machine-readable report (per-experiment metrics, trace summaries, Go
+// runtime metadata) is written to the given path — the perf trajectory file
+// CI archives as BENCH_pp.json. With -pprof, a net/http/pprof server runs
+// for the duration so long benchmarks can be profiled live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -24,6 +33,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	quick := flag.Bool("quick", false, "use the reduced dataset sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "also write a machine-readable report (BENCH_pp.json) to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	flag.Parse()
 
 	if *list {
@@ -33,19 +44,60 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ppbench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n\n", *pprofAddr)
+	}
+
 	ids := bench.Order
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
 	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	var doc *bench.JSONDocument
+	if *jsonPath != "" {
+		doc = bench.NewJSONDocument(*seed, *quick)
+	}
+	runStart := time.Now()
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
 		start := time.Now()
-		rep, err := bench.Run(strings.TrimSpace(id), cfg)
+		var rep *bench.Report
+		var err error
+		if doc != nil {
+			var exp bench.JSONExperiment
+			rep, exp, err = bench.RunTraced(id, cfg)
+			if err == nil {
+				doc.Experiments = append(doc.Experiments, exp)
+			}
+		} else {
+			rep, err = bench.Run(id, cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ppbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Print(rep)
 		fmt.Printf("(regenerated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if doc != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = doc.Write(f, time.Since(runStart))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote machine-readable report to %s\n", *jsonPath)
 	}
 }

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	ppquery [-pred "t=SUV & c=red"] [-accuracy 0.95] [-rows 20000] [-seed N] [-explain]
+//	        [-trace]
+//
+// -trace streams the observability layer's records to stderr: one span per
+// engine run and per operator (wall-clock + virtual cost + cardinalities)
+// and the optimizer's plan-search span with its counters.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"probpred/internal/bench"
 	"probpred/internal/engine"
+	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
 )
@@ -26,21 +32,26 @@ func main() {
 	seed := flag.Uint64("seed", 42, "stream + training seed")
 	explain := flag.Bool("explain", false, "print candidate PP expressions and the plan profile")
 	corpusFile := flag.String("corpus", "", "load the PP corpus from this file if it exists; otherwise train and save it")
+	trace := flag.Bool("trace", false, "stream execution + optimizer spans to stderr")
 	flag.Parse()
 
-	if err := run(*predStr, *accuracy, *rows, *seed, *explain, *corpusFile); err != nil {
+	if err := run(*predStr, *accuracy, *rows, *seed, *explain, *corpusFile, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "ppquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, corpusFile string) error {
+func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, corpusFile string, trace bool) error {
 	pred, err := query.Parse(predStr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("predicate: %s  (accuracy target %.2f)\n", pred, accuracy)
-	cfg := bench.Config{Seed: seed, Quick: rows <= 5000}
+	var tracer *obs.Tracer
+	if trace {
+		tracer = obs.New(obs.NewTextSink(os.Stderr))
+	}
+	cfg := bench.Config{Seed: seed, Quick: rows <= 5000, Obs: tracer}
 	h, err := loadOrTrainHarness(cfg, corpusFile)
 	if err != nil {
 		return err
@@ -55,7 +66,7 @@ func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, 
 	if err != nil {
 		return err
 	}
-	nop, err := engine.Run(nopPlan, engine.Config{})
+	nop, err := engine.Run(nopPlan, engine.Config{Obs: tracer})
 	if err != nil {
 		return err
 	}
@@ -63,7 +74,7 @@ func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, 
 	if err != nil {
 		return err
 	}
-	pp, err := engine.Run(ppPlan, engine.Config{})
+	pp, err := engine.Run(ppPlan, engine.Config{Obs: tracer})
 	if err != nil {
 		return err
 	}

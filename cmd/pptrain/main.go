@@ -6,11 +6,12 @@
 //
 //	pptrain [-dataset traffic|lshtc|coco|imagenet|sun|ucf101]
 //	        [-clause "t=SUV" | -category 3]
-//	        [-approach ""|Raw+SVM|PCA+KDE|FH+SVM|DNN] [-seed N]
+//	        [-approach ""|Raw+SVM|PCA+KDE|FH+SVM|DNN] [-seed N] [-trace]
 //
 // For the traffic dataset, -clause takes a predicate clause; for the
 // categorical datasets, -category selects the "has category K" query. An
-// empty -approach invokes automatic model selection (§5.5).
+// empty -approach invokes automatic model selection (§5.5). -trace emits a
+// training span (approach, wall time, training-set size) to stderr.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"probpred/internal/core"
 	"probpred/internal/data"
 	"probpred/internal/mathx"
+	"probpred/internal/obs"
 	"probpred/internal/query"
 )
 
@@ -32,15 +34,16 @@ func main() {
 	approach := flag.String("approach", "", "PP approach; empty = model selection")
 	seed := flag.Uint64("seed", 42, "seed")
 	saveTo := flag.String("save", "", "save the trained PP to this file (gob)")
+	trace := flag.Bool("trace", false, "emit a training span to stderr")
 	flag.Parse()
 
-	if err := run(*dataset, *clause, *category, *approach, *seed, *saveTo); err != nil {
+	if err := run(*dataset, *clause, *category, *approach, *seed, *saveTo, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "pptrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, clause string, category int, approach string, seed uint64, saveTo string) error {
+func run(dataset, clause string, category int, approach string, seed uint64, saveTo string, trace bool) error {
 	set, name, err := loadSet(dataset, clause, category, seed)
 	if err != nil {
 		return err
@@ -50,11 +53,22 @@ func run(dataset, clause string, category int, approach string, seed uint64, sav
 	fmt.Printf("dataset=%s clause=%q  blobs=%d dim=%d sparse=%v selectivity=%.3f\n",
 		dataset, name, set.Len(), set.Dim(), set.AnySparse(), set.Selectivity())
 
+	var tracer *obs.Tracer
+	if trace {
+		tracer = obs.New(obs.NewTextSink(os.Stderr))
+	}
 	cfg := core.TrainConfig{Approach: approach, Seed: seed, AllowDNN: true}
+	sp := tracer.Begin(obs.KindTrain, name)
+	sp.RowsIn = train.Len()
 	pp, err := core.Train(name, train, val, cfg)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		tracer.End(&sp)
 		return err
 	}
+	sp.SetAttr("approach", pp.Approach)
+	sp.CostVMS = pp.Cost() * float64(pp.TrainN)
+	tracer.End(&sp)
 	fmt.Printf("trained %s in %s on %d blobs (cost %.2f vms/blob)\n\n",
 		pp.Approach, pp.TrainDuration.Round(1e6), pp.TrainN, pp.Cost())
 

@@ -12,7 +12,9 @@ import (
 	"probpred/internal/blob"
 	"probpred/internal/core"
 	"probpred/internal/data"
+	"probpred/internal/engine"
 	"probpred/internal/mathx"
+	"probpred/internal/obs"
 	"probpred/internal/svm"
 )
 
@@ -23,7 +25,15 @@ type Config struct {
 	// Quick shrinks datasets for fast test runs; the full scale is used by
 	// cmd/ppbench and the benchmarks.
 	Quick bool
+	// Obs, when set, receives spans/metrics from the engine runs and
+	// optimizer searches the experiments perform (cmd/ppbench attaches a
+	// collector per experiment for the BENCH_pp.json trace summaries).
+	Obs *obs.Tracer
 }
+
+// Exec is the engine configuration experiments run plans under, carrying
+// the attached tracer.
+func (c Config) Exec() engine.Config { return engine.Config{Obs: c.Obs} }
 
 // scale returns quick when cfg.Quick, else full.
 func (c Config) scale(full, quick int) int {
@@ -41,6 +51,10 @@ type Report struct {
 	Title string
 	// Lines is the formatted output.
 	Lines []string
+	// Metrics carries the experiment's headline numbers machine-readably
+	// (speedups, accuracies, latencies) for BENCH_pp.json; the same values
+	// appear formatted in Lines.
+	Metrics map[string]float64
 }
 
 // String renders the report.
@@ -56,6 +70,14 @@ func (r *Report) String() string {
 
 func (r *Report) addf(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// metric records one machine-readable headline value.
+func (r *Report) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
 }
 
 // table is a minimal fixed-width table formatter.

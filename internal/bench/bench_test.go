@@ -62,7 +62,7 @@ func TestFig10Shapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fig10With(h)
+	rep, err := fig10With(h, engine.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,10 +21,10 @@ func Fig10(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fig10With(h)
+	return fig10With(h, cfg.Exec())
 }
 
-func fig10With(h *TrafficHarness) (*Report, error) {
+func fig10With(h *TrafficHarness, exec engine.Config) (*Report, error) {
 	rep := &Report{ID: "fig10", Title: "TRAF-20 speed-up in cluster processing time vs NoP (ranked by PP a=0.95)"}
 	type row struct {
 		id                        string
@@ -39,7 +39,7 @@ func fig10With(h *TrafficHarness) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		nop, err := engine.Run(nopPlan, engine.Config{})
+		nop, err := engine.Run(nopPlan, exec)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +52,7 @@ func fig10With(h *TrafficHarness) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := engine.Run(plan, engine.Config{})
+			res, err := engine.Run(plan, exec)
 			if err != nil {
 				return nil, err
 			}
@@ -66,7 +66,7 @@ func fig10With(h *TrafficHarness) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		spRes, err := engine.Run(sp, engine.Config{})
+		spRes, err := engine.Run(sp, exec)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +89,17 @@ func fig10With(h *TrafficHarness) (*Report, error) {
 		sumSortP += r.sortp
 	}
 	rep.Lines = tb.render()
+	for _, r := range rows {
+		rep.metric(r.id+".speedup_pp95", r.pp95)
+		rep.metric(r.id+".speedup_pp100", r.pp100)
+		rep.metric(r.id+".speedup_sortp", r.sortp)
+		rep.metric(r.id+".accuracy_pp95", r.acc95)
+		rep.metric(r.id+".selectivity", r.sel)
+	}
 	n := float64(len(rows))
+	rep.metric("avg_speedup_pp95", sum95/n)
+	rep.metric("avg_speedup_pp100", sum100/n)
+	rep.metric("avg_speedup_sortp", sumSortP/n)
 	rep.addf("average speed-up: PP(0.95)=%.2fx  PP(1.0)=%.2fx  SortP=%.2fx", sum95/n, sum100/n, sumSortP/n)
 	return rep, nil
 }
@@ -139,7 +149,7 @@ func Table8(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			nop, err := engine.Run(nopPlan, engine.Config{})
+			nop, err := engine.Run(nopPlan, cfg.Exec())
 			if err != nil {
 				return nil, err
 			}
@@ -148,7 +158,7 @@ func Table8(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			pp, err := engine.Run(plan, engine.Config{})
+			pp, err := engine.Run(plan, cfg.Exec())
 			if err != nil {
 				return nil, err
 			}
@@ -163,6 +173,8 @@ func Table8(cfg Config) (*Report, error) {
 	for i := range fractions {
 		nopRow = append(nopRow, f2(nopLat[i]/norm))
 		ppRow = append(ppRow, f2(ppLat[i]/norm))
+		rep.metric("latency_norm_nop_"+names[i], nopLat[i]/norm)
+		rep.metric("latency_norm_pp95_"+names[i], ppLat[i]/norm)
 	}
 	tb.add(nopRow...)
 	tb.add(ppRow...)
@@ -197,7 +209,7 @@ func Table9(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		nop, err := engine.Run(nopPlan, engine.Config{})
+		nop, err := engine.Run(nopPlan, cfg.Exec())
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +217,7 @@ func Table9(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.Run(plan, engine.Config{})
+		res, err := engine.Run(plan, cfg.Exec())
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +257,11 @@ func Table9(cfg Config) (*Report, error) {
 		fmt.Sprintf("%.1f", avgPPs/n), f2(avgInf/n)+"ms", f2(avgUDF/n)+"ms",
 		f3(avgSel/n), fmt.Sprintf("%.0f%%", avgRed/n*100))
 	rep.Lines = tb.render()
+	rep.metric("avg_num_pps", avgPPs/n)
+	rep.metric("avg_pp_cost_per_row", avgInf/n)
+	rep.metric("avg_udf_cost_per_row", avgUDF/n)
+	rep.metric("avg_selectivity", avgSel/n)
+	rep.metric("avg_cluster_reduction", avgRed/n)
 	return rep, nil
 }
 

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunTracedAndWrite: the machine-readable report path end to end — one
+// traced experiment, document assembly, and the validated write.
+func TestRunTracedAndWrite(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	rep, exp, err := RunTraced("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != rep.ID || exp.ID != "fig10" {
+		t.Fatalf("experiment id = %q/%q", exp.ID, rep.ID)
+	}
+	if len(exp.Lines) == 0 || len(exp.Metrics) == 0 {
+		t.Fatalf("experiment missing lines (%d) or metrics (%d)", len(exp.Lines), len(exp.Metrics))
+	}
+	if exp.Metrics["avg_speedup_pp95"] <= 1 {
+		t.Fatalf("avg_speedup_pp95 = %v, want > 1", exp.Metrics["avg_speedup_pp95"])
+	}
+	if exp.Trace == nil || exp.Trace.Spans == 0 {
+		t.Fatal("traced run collected no spans")
+	}
+	foundRun := false
+	for _, op := range exp.Trace.Ops {
+		if op.Kind == "run" {
+			foundRun = true
+			if op.CostVMS <= 0 {
+				t.Fatalf("run spans carry no virtual cost: %+v", op)
+			}
+		}
+	}
+	if !foundRun {
+		t.Fatal("trace summary has no engine run spans")
+	}
+
+	doc := NewJSONDocument(7, true)
+	doc.Experiments = append(doc.Experiments, exp)
+	var buf bytes.Buffer
+	if err := doc.Write(&buf, 1500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("written document is not valid JSON")
+	}
+	var back JSONDocument
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != JSONSchema || back.Seed != 7 || !back.Quick {
+		t.Fatalf("document header wrong: %+v", back)
+	}
+	if back.WallMS != 1500 {
+		t.Fatalf("wall_ms = %v, want 1500", back.WallMS)
+	}
+	if back.Runtime.GoVersion == "" || back.Runtime.NumCPU < 1 {
+		t.Fatalf("runtime snapshot missing: %+v", back.Runtime)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].Metrics["avg_speedup_pp95"] != exp.Metrics["avg_speedup_pp95"] {
+		t.Fatal("experiment did not round-trip")
+	}
+}
+
+// TestRunTracedUnknownExperiment propagates registry errors.
+func TestRunTracedUnknownExperiment(t *testing.T) {
+	if _, _, err := RunTraced("nope", Config{Quick: true}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}

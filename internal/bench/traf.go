@@ -9,6 +9,7 @@ import (
 	"probpred/internal/core"
 	"probpred/internal/data"
 	"probpred/internal/engine"
+	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
 	"probpred/internal/udf"
@@ -82,6 +83,9 @@ type TrafficHarness struct {
 	CorpusTrainTime time.Duration
 	// PPTrainTime maps clause to its individual training time.
 	PPTrainTime map[string]time.Duration
+	// Obs receives the optimizer's plan-search spans and counters for
+	// queries planned through this harness (set from Config.Obs).
+	Obs *obs.Tracer
 
 	seed uint64
 }
@@ -96,6 +100,7 @@ func NewTrafficHarness(cfg Config) (*TrafficHarness, error) {
 		TrainBlobs:  all[:trainRows],
 		TestBlobs:   all[trainRows:],
 		PPTrainTime: map[string]time.Duration{},
+		Obs:         cfg.Obs,
 		seed:        cfg.Seed,
 	}
 	corpus := optimizer.NewCorpus()
@@ -125,6 +130,7 @@ func NewTrafficHarnessWithCorpus(cfg Config, corpus *optimizer.Corpus) (*Traffic
 		TestBlobs:   all[trainRows:],
 		Opt:         optimizer.New(corpus),
 		PPTrainTime: map[string]time.Duration{},
+		Obs:         cfg.Obs,
 		seed:        cfg.Seed,
 	}, nil
 }
@@ -183,6 +189,7 @@ func (h *TrafficHarness) PPPlan(pred query.Pred, accuracy float64) (engine.Plan,
 		Accuracy: accuracy,
 		UDFCost:  u,
 		Domains:  data.TrafficDomains(),
+		Obs:      h.Obs,
 	})
 	if err != nil {
 		return engine.Plan{}, nil, err

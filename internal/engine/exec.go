@@ -1,6 +1,11 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+
+	"probpred/internal/obs"
+)
 
 // Stats accumulates virtual cost and cardinality accounting during a run.
 type Stats struct {
@@ -55,6 +60,11 @@ type Config struct {
 	// timeout that turns stragglers into retries. The zero value disables
 	// retries and timeouts.
 	Retry RetryPolicy
+	// Obs receives execution spans: one root span per Run, one span per
+	// operator (wall-clock, virtual cost, cardinalities), and per-chunk
+	// child spans on the row-parallel path. Nil disables tracing at
+	// near-zero overhead.
+	Obs *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -66,6 +76,18 @@ func (c *Config) fill() {
 	} else if c.StageOverheadMS == 0 {
 		c.StageOverheadMS = 15000
 	}
+}
+
+// OpStats is one operator's accounting, keyed by plan position rather than
+// name: two operators sharing a Name() (e.g. the same UDF applied twice)
+// stay distinct here, where the name-keyed Stats maps merge them.
+type OpStats struct {
+	// Name is the operator's display name (not necessarily unique).
+	Name string
+	// RowsIn / RowsOut are this operator's own cardinalities.
+	RowsIn, RowsOut int
+	// Cost is the virtual cost this operator alone charged.
+	Cost float64
 }
 
 // Result is the outcome of running a plan.
@@ -80,19 +102,27 @@ type Result struct {
 	Latency float64
 	// Stages is the number of pipeline stages in the plan.
 	Stages int
-	// Stats carries per-operator detail.
+	// Stats carries per-operator detail keyed by operator name; operators
+	// sharing a name are merged (see PerOp for exact accounting).
 	Stats *Stats
+	// PerOp carries per-operator detail in plan position order.
+	PerOp []OpStats
 }
 
 // Run executes the plan and returns rows plus cost accounting. The first
-// operator must be a source (it receives a nil input batch).
+// operator must be a source (it receives a nil input batch). When the run
+// fails, work performed before the failure is still charged to the
+// operator's stats and visible on the emitted spans (the trace is how a
+// failed run's cost is inspected; the Result itself is nil).
 func Run(p Plan, cfg Config) (*Result, error) {
 	cfg.fill()
 	if len(p.Ops) == 0 {
 		return nil, fmt.Errorf("engine: empty plan")
 	}
+	runSpan := cfg.Obs.Begin(obs.KindRun, "plan")
 	st := newStats()
 	var rows []Row
+	perOp := make([]OpStats, 0, len(p.Ops))
 	// stageCosts[i] accumulates the virtual cost of stage i.
 	stageCosts := []float64{0}
 	for _, op := range p.Ops {
@@ -100,12 +130,26 @@ func Run(p Plan, cfg Config) (*Result, error) {
 			stageCosts = append(stageCosts, 0)
 		}
 		st.RowsIn[op.Name()] += len(rows)
+		// The name-keyed delta is exact even for repeated names because
+		// operators execute one at a time.
 		before := st.OpCost[op.Name()]
-		out, err := runOp(op, rows, st, cfg)
+		opSpan := cfg.Obs.BeginChild(&runSpan, obs.KindOperator, op.Name())
+		out, err := runOp(op, rows, st, cfg, &opSpan)
+		cost := st.OpCost[op.Name()] - before
+		opSpan.CostVMS = cost
+		opSpan.RowsIn = len(rows)
+		opSpan.RowsOut = len(out)
 		if err != nil {
+			opSpan.SetAttr("error", err.Error())
+			cfg.Obs.End(&opSpan)
+			runSpan.CostVMS = st.Cluster
+			runSpan.SetAttr("error", err.Error())
+			cfg.Obs.End(&runSpan)
 			return nil, &OpError{Stage: len(stageCosts) - 1, Op: op.Name(), Err: err}
 		}
-		stageCosts[len(stageCosts)-1] += st.OpCost[op.Name()] - before
+		cfg.Obs.End(&opSpan)
+		perOp = append(perOp, OpStats{Name: op.Name(), RowsIn: len(rows), RowsOut: len(out), Cost: cost})
+		stageCosts[len(stageCosts)-1] += cost
 		st.RowsOut[op.Name()] += len(out)
 		rows = out
 	}
@@ -113,11 +157,17 @@ func Run(p Plan, cfg Config) (*Result, error) {
 	for _, c := range stageCosts {
 		latency += c/float64(cfg.Parallelism) + cfg.StageOverheadMS
 	}
+	runSpan.CostVMS = st.Cluster
+	runSpan.RowsOut = len(rows)
+	runSpan.SetAttr("stages", strconv.Itoa(len(stageCosts)))
+	runSpan.SetAttr("latency_vms", strconv.FormatFloat(latency, 'f', 1, 64))
+	cfg.Obs.End(&runSpan)
 	return &Result{
 		Rows:        rows,
 		ClusterTime: st.Cluster,
 		Latency:     latency,
 		Stages:      len(stageCosts),
 		Stats:       st,
+		PerOp:       perOp,
 	}, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Explain renders a plan as an indented operator listing with stage
@@ -22,23 +23,38 @@ func Explain(p Plan) string {
 }
 
 // Summary renders a result's per-operator cardinalities and virtual costs
-// in plan order — what an operator-level profiler would show.
+// in plan order — what an operator-level profiler would show. Accounting is
+// keyed by plan position (Result.PerOp), so two operators sharing a Name()
+// each show their own rows and cost rather than the combined totals; the
+// name-keyed Stats maps are only consulted for hand-built Results that
+// predate PerOp.
 func (r *Result) Summary(p Plan) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-40s %10s %10s %14s\n", "operator", "rows in", "rows out", "cost (vms)")
-	for _, op := range p.Ops {
-		name := op.Name()
-		fmt.Fprintf(&b, "%-40s %10d %10d %14.1f\n",
-			truncate(name, 40), r.Stats.RowsIn[name], r.Stats.RowsOut[name], r.Stats.OpCost[name])
+	if len(r.PerOp) > 0 {
+		for _, op := range r.PerOp {
+			fmt.Fprintf(&b, "%-40s %10d %10d %14.1f\n",
+				truncate(op.Name, 40), op.RowsIn, op.RowsOut, op.Cost)
+		}
+	} else {
+		for _, op := range p.Ops {
+			name := op.Name()
+			fmt.Fprintf(&b, "%-40s %10d %10d %14.1f\n",
+				truncate(name, 40), r.Stats.RowsIn[name], r.Stats.RowsOut[name], r.Stats.OpCost[name])
+		}
 	}
 	fmt.Fprintf(&b, "total: cluster %.0f vms, latency %.0f vms, %d stages",
 		r.ClusterTime, r.Latency, r.Stages)
 	return b.String()
 }
 
+// truncate limits s to n runes, marking the cut with an ellipsis. Cutting by
+// runes (not bytes) keeps multi-byte operator names — σ, π, ⋈ and quoted
+// values in any script — valid UTF-8.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	runes := []rune(s)
+	return string(runes[:n-1]) + "…"
 }

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/obs"
+	"probpred/internal/query"
+)
+
+// failTailBlobs returns n blobs whose LAST one has no truth map, making
+// fakeUDF fail on it. Placing the failure last makes the sequential and
+// parallel paths perform — and therefore charge — exactly the same work.
+func failTailBlobs(n int) []blob.Blob {
+	blobs := makeBlobs(n)
+	blobs[n-1] = blob.Blob{ID: n - 1}
+	return blobs
+}
+
+// TestParallelErrorChargesPartialWork: a chunk error must not discard the
+// virtual cost the workers accumulated. Both paths attempt every row once
+// (failure last), so the charged totals must match exactly.
+func TestParallelErrorChargesPartialWork(t *testing.T) {
+	const n, cost = 40, 7.0
+	mkRows := func() []Row {
+		rows := make([]Row, n)
+		for i, b := range failTailBlobs(n) {
+			rows[i] = NewRow(b)
+		}
+		return rows
+	}
+	p := &Process{P: fakeUDF{name: "U", cost: cost, col: "x"}}
+
+	seqSt := newStats()
+	if _, err := p.exec(mkRows(), seqSt, RetryPolicy{}); err == nil {
+		t.Fatal("sequential path should fail")
+	}
+	parSt := newStats()
+	if _, err := p.execParallel(mkRows(), parSt, 4, RetryPolicy{}, nil, nil); err == nil {
+		t.Fatal("parallel path should fail")
+	}
+
+	want := float64(n) * cost // every row attempted once, failing one included
+	if seqSt.OpCost["U"] != want {
+		t.Fatalf("sequential charged %v, want %v", seqSt.OpCost["U"], want)
+	}
+	if parSt.OpCost["U"] != seqSt.OpCost["U"] {
+		t.Fatalf("parallel charged %v, sequential %v — accounting diverged",
+			parSt.OpCost["U"], seqSt.OpCost["U"])
+	}
+	if parSt.Cluster != seqSt.Cluster {
+		t.Fatalf("cluster totals diverged: %v vs %v", parSt.Cluster, seqSt.Cluster)
+	}
+}
+
+// TestPPFilterParallelChargesAllChunks: the filter's parallel path must
+// charge the same total as its sequential Exec.
+func TestPPFilterParallelChargesAllChunks(t *testing.T) {
+	mkRows := func() []Row {
+		rows := make([]Row, 100)
+		for i, b := range makeBlobs(100) {
+			rows[i] = NewRow(b)
+		}
+		return rows
+	}
+	f := &PPFilter{F: thresholdFilter{col: "x", t: 49, cost: 1}}
+	seqSt := newStats()
+	if _, err := f.Exec(mkRows(), seqSt); err != nil {
+		t.Fatal(err)
+	}
+	parSt := newStats()
+	if _, err := f.execParallel(mkRows(), parSt, 4, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seqSt.Cluster != parSt.Cluster || seqSt.Cluster != 100 {
+		t.Fatalf("filter costs diverged: seq=%v par=%v want 100", seqSt.Cluster, parSt.Cluster)
+	}
+}
+
+// TestRunEmitsSpans: a traced run emits one root span, one span per
+// operator parented under it, and per-chunk child spans on the parallel
+// path — with virtual costs that reconcile exactly at every level.
+func TestRunEmitsSpans(t *testing.T) {
+	col := obs.NewCollector()
+	plan := Plan{Ops: []Operator{
+		&Scan{Blobs: makeBlobs(100)},
+		&PPFilter{F: thresholdFilter{col: "x", t: 49, cost: 1}},
+		&Process{P: fakeUDF{name: "U", cost: 7, col: "x"}},
+		&Select{Pred: query.MustParse("x>60")},
+	}}
+	res, err := Run(plan, Config{Workers: 4, Obs: obs.New(col)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	var run *obs.Span
+	ops := map[int64]obs.Span{}
+	var chunks []obs.Span
+	for i := range spans {
+		switch spans[i].Kind {
+		case obs.KindRun:
+			run = &spans[i]
+		case obs.KindOperator:
+			ops[spans[i].ID] = spans[i]
+		case obs.KindChunk:
+			chunks = append(chunks, spans[i])
+		}
+	}
+	if run == nil {
+		t.Fatal("no run span")
+	}
+	if run.CostVMS != res.ClusterTime {
+		t.Fatalf("run span cost %v, ClusterTime %v", run.CostVMS, res.ClusterTime)
+	}
+	if len(ops) != len(plan.Ops) {
+		t.Fatalf("operator spans = %d, want %d", len(ops), len(plan.Ops))
+	}
+	opTotal := 0.0
+	for _, sp := range ops {
+		if sp.Parent != run.ID {
+			t.Fatalf("operator span %q parented under %d, want run %d", sp.Name, sp.Parent, run.ID)
+		}
+		opTotal += sp.CostVMS
+	}
+	if opTotal != res.ClusterTime {
+		t.Fatalf("operator span costs sum to %v, ClusterTime %v", opTotal, res.ClusterTime)
+	}
+	// Both row-parallel operators (100 and 50 input rows, 4 workers) must
+	// have emitted chunk spans whose costs reconcile with their operator.
+	if len(chunks) == 0 {
+		t.Fatal("no chunk spans from the parallel path")
+	}
+	chunkTotal := map[int64]float64{}
+	for _, c := range chunks {
+		parent, ok := ops[c.Parent]
+		if !ok {
+			t.Fatalf("chunk %q parented under unknown span %d", c.Name, c.Parent)
+		}
+		if !strings.HasPrefix(c.Name, parent.Name+"[") {
+			t.Fatalf("chunk name %q does not extend operator %q", c.Name, parent.Name)
+		}
+		chunkTotal[c.Parent] += c.CostVMS
+	}
+	for id, total := range chunkTotal {
+		if total != ops[id].CostVMS {
+			t.Fatalf("chunks of %q sum to %v, operator charged %v", ops[id].Name, total, ops[id].CostVMS)
+		}
+	}
+}
+
+// TestFailedRunSpansCarryCost: when a run fails, the Result is nil — the
+// emitted spans are how the charged cost is observed. Parallel and
+// sequential failures must report identical virtual cost on the run span,
+// and the failing chunk must be marked.
+func TestFailedRunSpansCarryCost(t *testing.T) {
+	const n = 40
+	runCost := func(workers int) (float64, []obs.Span) {
+		col := obs.NewCollector()
+		plan := Plan{Ops: []Operator{
+			&Scan{Blobs: failTailBlobs(n)},
+			&Process{P: fakeUDF{name: "U", cost: 7, col: "x"}},
+		}}
+		if _, err := Run(plan, Config{Workers: workers, Obs: obs.New(col)}); err == nil {
+			t.Fatal("expected run failure")
+		}
+		for _, sp := range col.Spans() {
+			if sp.Kind == obs.KindRun {
+				return sp.CostVMS, col.Spans()
+			}
+		}
+		t.Fatal("no run span on the failed run")
+		return 0, nil
+	}
+	seq, _ := runCost(1)
+	par, spans := runCost(4)
+	if seq != par {
+		t.Fatalf("failed-run costs diverged: sequential %v, parallel %v", seq, par)
+	}
+	if want := n*scanCost + n*7; seq != want {
+		t.Fatalf("failed run charged %v, want %v (scan + all attempts)", seq, want)
+	}
+	// The chunk that hit the error is annotated.
+	marked := false
+	for _, sp := range spans {
+		if sp.Kind != obs.KindChunk {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "error" {
+				marked = true
+			}
+		}
+	}
+	if !marked {
+		t.Fatal("no chunk span carries the error attribute")
+	}
+}
+
+// TestRunNilTracerUnchanged: tracing disabled (the default) must not change
+// results or costs.
+func TestRunNilTracerUnchanged(t *testing.T) {
+	plan := func() Plan {
+		return Plan{Ops: []Operator{
+			&Scan{Blobs: makeBlobs(50)},
+			&Process{P: fakeUDF{name: "U", cost: 3, col: "x"}},
+			&Select{Pred: query.MustParse("x>10")},
+		}}
+	}
+	plain, err := Run(plan(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(plan(), Config{Obs: obs.New(obs.NopSink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ClusterTime != traced.ClusterTime || len(plain.Rows) != len(traced.Rows) {
+		t.Fatalf("tracing changed execution: %v/%d vs %v/%d",
+			plain.ClusterTime, len(plain.Rows), traced.ClusterTime, len(traced.Rows))
+	}
+}

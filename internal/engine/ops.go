@@ -60,7 +60,9 @@ func (p *Process) Exec(in []Row, st *Stats) ([]Row, error) {
 }
 
 // exec is Exec under a retry policy: each row's attempts, backoffs and
-// timeouts are charged to the operator's virtual cost.
+// timeouts are charged to the operator's virtual cost. A failing row still
+// charges the work performed before and during the failure (all attempts and
+// backoffs) — a cluster bills for a task's work whether or not it succeeds.
 func (p *Process) exec(in []Row, st *Stats, pol RetryPolicy) ([]Row, error) {
 	var out []Row
 	total := 0.0
@@ -68,6 +70,7 @@ func (p *Process) exec(in []Row, st *Stats, pol RetryPolicy) ([]Row, error) {
 		rows, cost, err := applyWithRetry(p.P, r, pol)
 		total += cost
 		if err != nil {
+			st.charge(p.Name(), total)
 			return nil, fmt.Errorf("processor %s: %w", p.P.Name(), err)
 		}
 		out = append(out, rows...)

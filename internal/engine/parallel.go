@@ -3,6 +3,9 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"probpred/internal/obs"
 )
 
 // Parallel execution: the virtual cost model already charges work as if it
@@ -17,15 +20,16 @@ import (
 
 // runOp executes one operator, using the parallel path for row-parallel
 // operators when cfg.Workers > 1 and threading the retry policy into
-// processor execution.
-func runOp(op Operator, in []Row, st *Stats, cfg Config) ([]Row, error) {
+// processor execution. parent is the operator's span, under which the
+// parallel path emits per-chunk child spans.
+func runOp(op Operator, in []Row, st *Stats, cfg Config, parent *obs.Span) ([]Row, error) {
 	workers := cfg.Workers
 	if workers > 1 && len(in) >= 2*workers {
 		switch o := op.(type) {
 		case *Process:
-			return o.execParallel(in, st, workers, cfg.Retry)
+			return o.execParallel(in, st, workers, cfg.Retry, cfg.Obs, parent)
 		case *PPFilter:
-			return o.execParallel(in, st, workers)
+			return o.execParallel(in, st, workers, cfg.Obs, parent)
 		}
 	}
 	if p, ok := op.(*Process); ok {
@@ -51,19 +55,74 @@ func chunkBounds(n, workers int) [][2]int {
 	return out
 }
 
+// chunkTrace records one chunk's span timing from inside its goroutine;
+// spans are emitted after the join, in chunk order, so sinks see a
+// deterministic sequence. Slices are per-chunk indexed: no locking needed.
+type chunkTrace struct {
+	tr     *obs.Tracer
+	parent *obs.Span
+	starts []time.Time
+	walls  []int64
+}
+
+func newChunkTrace(tr *obs.Tracer, parent *obs.Span, chunks int) *chunkTrace {
+	if !tr.Enabled() {
+		return nil
+	}
+	return &chunkTrace{tr: tr, parent: parent, starts: make([]time.Time, chunks), walls: make([]int64, chunks)}
+}
+
+func (ct *chunkTrace) begin(ci int) {
+	if ct != nil {
+		ct.starts[ci] = time.Now()
+	}
+}
+
+func (ct *chunkTrace) end(ci int) {
+	if ct != nil {
+		ct.walls[ci] = time.Since(ct.starts[ci]).Nanoseconds()
+	}
+}
+
+// emit sends the chunk spans in chunk order.
+func (ct *chunkTrace) emit(opName string, bounds [][2]int, costs []float64, results [][]Row, errs []error) {
+	if ct == nil {
+		return
+	}
+	for ci, b := range bounds {
+		sp := ct.tr.BeginChild(ct.parent, obs.KindChunk, fmt.Sprintf("%s[%d:%d]", opName, b[0], b[1]))
+		sp.Start = ct.starts[ci]
+		sp.WallNS = ct.walls[ci]
+		sp.CostVMS = costs[ci]
+		sp.RowsIn = b[1] - b[0]
+		sp.RowsOut = len(results[ci])
+		if errs != nil && errs[ci] != nil {
+			sp.SetAttr("error", errs[ci].Error())
+		}
+		ct.tr.EmitSpan(sp)
+	}
+}
+
 // execParallel applies the processor across chunks concurrently, retrying
 // transient row failures under the policy. Per-chunk virtual costs are summed
 // in chunk order so accounting stays deterministic for a given worker count.
-func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy) ([]Row, error) {
+// When a chunk fails, the work every chunk performed up to that point —
+// completed chunks, the failing chunk's rows before the failure, and all
+// retry attempts — is still charged, matching the sequential path's
+// charge-then-fail accounting.
+func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy, tr *obs.Tracer, parent *obs.Span) ([]Row, error) {
 	bounds := chunkBounds(len(in), workers)
 	results := make([][]Row, len(bounds))
 	costs := make([]float64, len(bounds))
 	errs := make([]error, len(bounds))
+	ct := newChunkTrace(tr, parent, len(bounds))
 	var wg sync.WaitGroup
 	for ci, b := range bounds {
 		wg.Add(1)
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
+			ct.begin(ci)
+			defer ct.end(ci)
 			var out []Row
 			total := 0.0
 			for _, r := range in[lo:hi] {
@@ -81,31 +140,39 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy
 		}(ci, b[0], b[1])
 	}
 	wg.Wait()
+	// Charge every chunk's accumulated work — including partial work in
+	// chunks that failed — before deciding the outcome.
+	total := 0.0
+	for _, c := range costs {
+		total += c
+	}
+	st.charge(p.Name(), total)
+	ct.emit(p.Name(), bounds, costs, results, errs)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	var out []Row
-	total := 0.0
-	for i, r := range results {
+	for _, r := range results {
 		out = append(out, r...)
-		total += costs[i]
 	}
-	st.charge(p.Name(), total)
 	return out, nil
 }
 
 // execParallel tests the blob filter across chunks concurrently.
-func (p *PPFilter) execParallel(in []Row, st *Stats, workers int) ([]Row, error) {
+func (p *PPFilter) execParallel(in []Row, st *Stats, workers int, tr *obs.Tracer, parent *obs.Span) ([]Row, error) {
 	bounds := chunkBounds(len(in), workers)
 	results := make([][]Row, len(bounds))
 	costs := make([]float64, len(bounds))
+	ct := newChunkTrace(tr, parent, len(bounds))
 	var wg sync.WaitGroup
 	for ci, b := range bounds {
 		wg.Add(1)
 		go func(ci int, lo, hi int) {
 			defer wg.Done()
+			ct.begin(ci)
+			defer ct.end(ci)
 			var out []Row
 			total := 0.0
 			for _, r := range in[lo:hi] {
@@ -127,5 +194,6 @@ func (p *PPFilter) execParallel(in []Row, st *Stats, workers int) ([]Row, error)
 		total += costs[i]
 	}
 	st.charge(p.Name(), total)
+	ct.emit(p.Name(), bounds, costs, results, nil)
 	return out, nil
 }

@@ -1,0 +1,170 @@
+// Package obs is the engine-wide observability layer: a zero-dependency
+// tracing and metrics substrate threaded through the execution engine, the
+// query optimizer and the online loop. The paper's claims are measurements —
+// speedup ratios, per-operator costs, accuracy under a budget — so the
+// runtime that reproduces them must be able to report, machine-readably,
+// where every virtual millisecond went.
+//
+// Three record types cover the system:
+//
+//   - Span: a completed unit of work (a plan run, one operator, one parallel
+//     chunk, an optimizer search, a PP training) carrying both real
+//     wall-clock duration and virtual cost.
+//   - Event: a point-in-time state transition (watchdog trips, retrains,
+//     probation verdicts).
+//   - Metric: a named numeric observation (plan-search counters, memo hits,
+//     chosen plan cost).
+//
+// Records flow into a pluggable Sink. The default is no sink at all: a nil
+// *Tracer is valid, and every method on it is a nil-check away from free, so
+// instrumented code pays near-zero overhead unless a sink is attached.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds emitted by the instrumented subsystems.
+const (
+	// KindRun is one engine.Run invocation (the root span of a plan).
+	KindRun = "run"
+	// KindOperator is one operator's execution within a run.
+	KindOperator = "operator"
+	// KindChunk is one worker chunk of a row-parallel operator.
+	KindChunk = "chunk"
+	// KindOptimize is one optimizer plan search.
+	KindOptimize = "optimize"
+	// KindTrain is one PP (re)training.
+	KindTrain = "train"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is a completed unit of work. IDs are unique per tracer; Parent links
+// chunk spans to their operator span and operator spans to their run span.
+type Span struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// WallNS is the real elapsed time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// CostVMS is the virtual cost charged to this unit, in virtual ms.
+	CostVMS float64 `json:"cost_vms,omitempty"`
+	// RowsIn / RowsOut record cardinalities where they apply.
+	RowsIn  int    `json:"rows_in,omitempty"`
+	RowsOut int    `json:"rows_out,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// SetAttr appends an annotation. It is a no-op on the zero Span (the value
+// Begin returns when tracing is disabled), keeping disabled paths cheap.
+func (sp *Span) SetAttr(key, value string) {
+	if sp.ID == 0 {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+}
+
+// Event is a point-in-time occurrence (e.g. a watchdog trip).
+type Event struct {
+	Time  time.Time `json:"time"`
+	Name  string    `json:"name"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Metric is one numeric observation. Collector sums observations per name;
+// streaming sinks emit each one.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Sink receives completed records. Implementations must be safe for
+// concurrent use: parallel operators emit chunk spans from the merge point,
+// but independent plan runs may share a sink across goroutines.
+type Sink interface {
+	Span(sp Span)
+	Event(ev Event)
+	Metric(m Metric)
+}
+
+// Tracer hands out span IDs and forwards records to its sink. A nil *Tracer
+// is the no-op default: every method short-circuits, so instrumentation
+// costs one pointer check when disabled.
+type Tracer struct {
+	sink Sink
+	ids  atomic.Int64
+}
+
+// New returns a tracer over the sink; a nil sink yields a nil (disabled)
+// tracer.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether records will reach a sink.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Begin opens a span. On a disabled tracer it returns the zero Span without
+// reading the clock; End on that zero value is a no-op.
+func (t *Tracer) Begin(kind, name string) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	return Span{ID: t.ids.Add(1), Kind: kind, Name: name, Start: time.Now()}
+}
+
+// BeginChild opens a span parented under another.
+func (t *Tracer) BeginChild(parent *Span, kind, name string) Span {
+	sp := t.Begin(kind, name)
+	if sp.ID != 0 && parent != nil {
+		sp.Parent = parent.ID
+	}
+	return sp
+}
+
+// End stamps the span's wall-clock duration and emits it. Spans opened while
+// the tracer was disabled (zero ID) are dropped.
+func (t *Tracer) End(sp *Span) {
+	if !t.Enabled() || sp.ID == 0 {
+		return
+	}
+	sp.WallNS = time.Since(sp.Start).Nanoseconds()
+	t.sink.Span(*sp)
+}
+
+// EmitSpan forwards a caller-assembled span (used when the duration was
+// measured elsewhere, e.g. parallel chunks that finished before the merge).
+func (t *Tracer) EmitSpan(sp Span) {
+	if !t.Enabled() || sp.ID == 0 {
+		return
+	}
+	t.sink.Span(sp)
+}
+
+// Event emits a point-in-time record.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Event(Event{Time: time.Now(), Name: name, Attrs: attrs})
+}
+
+// Metric emits one numeric observation.
+func (t *Tracer) Metric(name string, v float64) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Metric(Metric{Name: name, Value: v})
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilTracerIsSafe: a nil *Tracer is the documented default; every method
+// must be a no-op rather than a panic, and Begin must not assemble a span.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin(KindRun, "plan")
+	if sp.ID != 0 || !sp.Start.IsZero() {
+		t.Fatalf("disabled Begin assembled a span: %+v", sp)
+	}
+	sp.SetAttr("k", "v") // zero span: must not record
+	if len(sp.Attrs) != 0 {
+		t.Fatal("SetAttr recorded on a zero span")
+	}
+	child := tr.BeginChild(&sp, KindOperator, "op")
+	if child.ID != 0 {
+		t.Fatal("disabled BeginChild assembled a span")
+	}
+	tr.End(&sp)
+	tr.EmitSpan(sp)
+	tr.Event("watchdog.trip")
+	tr.Metric("m", 1)
+}
+
+// TestNewNilSink: a nil sink yields a nil tracer, so New(nil) call sites get
+// the no-op path without a special case.
+func TestNewNilSink(t *testing.T) {
+	if tr := New(nil); tr != nil {
+		t.Fatal("New(nil) should return a nil tracer")
+	}
+	if tr := New(NopSink{}); !tr.Enabled() {
+		t.Fatal("New(NopSink{}) should be enabled")
+	}
+}
+
+func TestSpanParentage(t *testing.T) {
+	col := NewCollector()
+	tr := New(col)
+	root := tr.Begin(KindRun, "plan")
+	child := tr.BeginChild(&root, KindOperator, "Scan")
+	tr.End(&child)
+	tr.End(&root)
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Parent != root.ID {
+		t.Fatalf("child parent = %d, want %d", spans[0].Parent, root.ID)
+	}
+	if spans[0].ID == spans[1].ID {
+		t.Fatal("span IDs must be unique")
+	}
+	if spans[1].WallNS < 0 {
+		t.Fatalf("negative wall time %d", spans[1].WallNS)
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	col := NewCollector()
+	tr := New(col)
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin(KindOperator, "Cheap")
+		sp.CostVMS = 1
+		sp.RowsIn = 10
+		sp.RowsOut = 5
+		tr.End(&sp)
+	}
+	sp := tr.Begin(KindOperator, "Expensive")
+	sp.CostVMS = 100
+	tr.End(&sp)
+	tr.Event("watchdog.trip")
+	tr.Metric("optimizer.memo_hits", 2)
+	tr.Metric("optimizer.memo_hits", 3)
+
+	sum := col.Summary()
+	if sum.Spans != 4 || sum.Events != 1 {
+		t.Fatalf("spans=%d events=%d, want 4/1", sum.Spans, sum.Events)
+	}
+	if len(sum.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(sum.Ops))
+	}
+	// Sorted by descending virtual cost.
+	if sum.Ops[0].Name != "Expensive" || sum.Ops[1].Name != "Cheap" {
+		t.Fatalf("op order = %s, %s", sum.Ops[0].Name, sum.Ops[1].Name)
+	}
+	cheap := sum.Ops[1]
+	if cheap.Count != 3 || cheap.CostVMS != 3 || cheap.RowsIn != 30 || cheap.RowsOut != 15 {
+		t.Fatalf("Cheap aggregate wrong: %+v", cheap)
+	}
+	// Metric observations with the same name are summed.
+	if sum.Metrics["optimizer.memo_hits"] != 5 {
+		t.Fatalf("memo_hits = %v, want 5", sum.Metrics["optimizer.memo_hits"])
+	}
+
+	col.Reset()
+	if s := col.Summary(); s.Spans != 0 || s.Events != 0 || len(s.Metrics) != 0 {
+		t.Fatalf("Reset left records: %+v", s)
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewTextSink(&buf))
+	sp := tr.Begin(KindOperator, "Scan")
+	sp.CostVMS = 12.5
+	sp.RowsIn = 0
+	sp.RowsOut = 100
+	tr.End(&sp)
+	chunk := tr.BeginChild(&sp, KindChunk, "U[0:50]")
+	tr.End(&chunk)
+	tr.Event("watchdog.trip", Attr{Key: "clause", Value: "t=SUV"})
+	tr.Metric("optimizer.searches", 1)
+
+	out := buf.String()
+	for _, want := range []string{
+		"[operator] Scan", "cost=12.5vms", "rows=0→100",
+		"\n  [chunk] U[0:50]", // chunk spans indent under their operator
+		"[event] watchdog.trip clause=t=SUV",
+		"[metric] optimizer.searches=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestJSONSink: every line is a standalone JSON object with a "type"
+// discriminator.
+func TestJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONSink(&buf))
+	sp := tr.Begin(KindRun, "plan")
+	sp.CostVMS = 7
+	tr.End(&sp)
+	tr.Event("online.train")
+	tr.Metric("optimizer.injected", 1)
+
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", sc.Text(), err)
+		}
+		typ, _ := rec["type"].(string)
+		types = append(types, typ)
+		switch typ {
+		case "span":
+			if rec["kind"] != KindRun || rec["cost_vms"] != 7.0 {
+				t.Fatalf("span record wrong: %v", rec)
+			}
+		case "event":
+			if rec["name"] != "online.train" {
+				t.Fatalf("event record wrong: %v", rec)
+			}
+		case "metric":
+			if rec["name"] != "optimizer.injected" || rec["value"] != 1.0 {
+				t.Fatalf("metric record wrong: %v", rec)
+			}
+		default:
+			t.Fatalf("unknown record type %q", typ)
+		}
+	}
+	if len(types) != 3 {
+		t.Fatalf("records = %v, want span/event/metric", types)
+	}
+}
+
+func TestRuntimeSnapshot(t *testing.T) {
+	snap := TakeRuntimeSnapshot()
+	if snap.GoVersion == "" || snap.GOOS == "" || snap.GOARCH == "" {
+		t.Fatalf("missing version metadata: %+v", snap)
+	}
+	if snap.NumCPU < 1 || snap.GOMAXPROCS < 1 || snap.NumGoroutine < 1 {
+		t.Fatalf("implausible CPU/goroutine counts: %+v", snap)
+	}
+	if snap.TotalAllocBytes == 0 {
+		t.Fatal("total allocation cannot be zero in a running test")
+	}
+	if snap.SchedLatencyP50NS < 0 || snap.SchedLatencyP99NS < 0 ||
+		snap.SchedLatencyP50NS > snap.SchedLatencyP99NS {
+		t.Fatalf("scheduler latency quantiles out of order: p50=%v p99=%v",
+			snap.SchedLatencyP50NS, snap.SchedLatencyP99NS)
+	}
+	// The snapshot must be JSON-encodable (it is embedded in BENCH_pp.json);
+	// ±Inf histogram bounds would make Marshal fail here.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not encode: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeSnapshot captures the Go runtime's state at one instant — the
+// bench runner embeds before/after snapshots in BENCH_pp.json so perf
+// numbers carry their environment.
+type RuntimeSnapshot struct {
+	GoVersion    string `json:"go_version"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	NumCPU       int    `json:"num_cpu"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumGoroutine int    `json:"num_goroutine"`
+	// HeapAllocBytes is live heap memory at snapshot time.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// TotalAllocBytes is cumulative allocation since process start.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	GCPauseTotalNS  uint64 `json:"gc_pause_total_ns"`
+	// SchedLatencyP50NS / P99NS come from the runtime/metrics goroutine
+	// scheduling latency histogram (zero when the runtime doesn't publish it).
+	SchedLatencyP50NS float64 `json:"sched_latency_p50_ns,omitempty"`
+	SchedLatencyP99NS float64 `json:"sched_latency_p99_ns,omitempty"`
+}
+
+// TakeRuntimeSnapshot reads the runtime counters.
+func TakeRuntimeSnapshot() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := RuntimeSnapshot{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumGoroutine:    runtime.NumGoroutine(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNS:  ms.PauseTotalNs,
+	}
+	snap.SchedLatencyP50NS, snap.SchedLatencyP99NS = schedLatencyQuantiles()
+	return snap
+}
+
+// schedLatencyQuantiles reads the scheduler latency histogram from
+// runtime/metrics and returns approximate p50/p99 in nanoseconds.
+func schedLatencyQuantiles() (p50, p99 float64) {
+	const name = "/sched/latencies:seconds"
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, 0
+	}
+	h := sample[0].Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	// bound returns bucket i's finite lower bound in ns (the histogram's
+	// first/last buckets are unbounded: ±Inf).
+	bound := func(i int) float64 {
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+		b := h.Buckets[i]
+		if math.IsInf(b, 0) {
+			return 0
+		}
+		return b * 1e9
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(q * float64(total))
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum >= target {
+				return bound(i)
+			}
+		}
+		return bound(len(h.Buckets) - 1)
+	}
+	return quantile(0.50), quantile(0.99)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// NopSink discards every record. A nil *Tracer is cheaper (no records are
+// even assembled); NopSink exists for call sites that require a non-nil Sink.
+type NopSink struct{}
+
+// Span implements Sink.
+func (NopSink) Span(Span) {}
+
+// Event implements Sink.
+func (NopSink) Event(Event) {}
+
+// Metric implements Sink.
+func (NopSink) Metric(Metric) {}
+
+// TextSink renders records as human-readable lines — the sink behind
+// `ppquery -trace`. Chunk spans are indented under their operator.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a text sink over w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Span implements Sink.
+func (s *TextSink) Span(sp Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	indent := ""
+	if sp.Kind == KindChunk {
+		indent = "  "
+	}
+	fmt.Fprintf(s.w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s\n",
+		indent, sp.Kind, sp.Name, float64(sp.WallNS)/1e6, sp.CostVMS,
+		sp.RowsIn, sp.RowsOut, renderAttrs(sp.Attrs))
+}
+
+// Event implements Sink.
+func (s *TextSink) Event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "[event] %s%s\n", ev.Name, renderAttrs(ev.Attrs))
+}
+
+// Metric implements Sink.
+func (s *TextSink) Metric(m Metric) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "[metric] %s=%g\n", m.Name, m.Value)
+}
+
+func renderAttrs(attrs []Attr) string {
+	out := ""
+	for _, a := range attrs {
+		out += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+	}
+	return out
+}
+
+// JSONSink streams records as JSON Lines: one object per record with a
+// "type" discriminator ("span", "event", "metric").
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a JSON-lines sink over w.
+func NewJSONSink(w io.Writer) *JSONSink { return &JSONSink{enc: json.NewEncoder(w)} }
+
+// Span implements Sink.
+func (s *JSONSink) Span(sp Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(struct {
+		Type string `json:"type"`
+		Span
+	}{Type: "span", Span: sp})
+}
+
+// Event implements Sink.
+func (s *JSONSink) Event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(struct {
+		Type string `json:"type"`
+		Event
+	}{Type: "event", Event: ev})
+}
+
+// Metric implements Sink.
+func (s *JSONSink) Metric(m Metric) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(struct {
+		Type string `json:"type"`
+		Metric
+	}{Type: "metric", Metric: m})
+}
+
+// Collector accumulates records in memory for tests, reports and the bench
+// runner's per-experiment trace summaries.
+type Collector struct {
+	mu      sync.Mutex
+	spans   []Span
+	events  []Event
+	metrics map[string]float64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{metrics: map[string]float64{}} }
+
+// Span implements Sink.
+func (c *Collector) Span(sp Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = append(c.spans, sp)
+}
+
+// Event implements Sink.
+func (c *Collector) Event(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+// Metric implements Sink; observations with the same name are summed.
+func (c *Collector) Metric(m Metric) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics[m.Name] += m.Value
+}
+
+// Spans returns a copy of the collected spans.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// Events returns a copy of the collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Reset discards everything collected so far (the bench runner reuses one
+// collector across experiments).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = nil
+	c.events = nil
+	c.metrics = map[string]float64{}
+}
+
+// OpSummary aggregates the spans sharing a (kind, name) pair.
+type OpSummary struct {
+	Kind    string  `json:"kind"`
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	WallNS  int64   `json:"wall_ns"`
+	CostVMS float64 `json:"cost_vms"`
+	RowsIn  int     `json:"rows_in"`
+	RowsOut int     `json:"rows_out"`
+}
+
+// Summary is the aggregate view of a collector — what BENCH_pp.json embeds
+// per experiment.
+type Summary struct {
+	Spans   int                `json:"spans"`
+	Events  int                `json:"events"`
+	Ops     []OpSummary        `json:"ops,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Summary aggregates the collected records: spans grouped by (kind, name)
+// sorted by descending virtual cost, metric sums, and record counts.
+func (c *Collector) Summary() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byKey := map[[2]string]*OpSummary{}
+	var order [][2]string
+	for _, sp := range c.spans {
+		key := [2]string{sp.Kind, sp.Name}
+		agg, ok := byKey[key]
+		if !ok {
+			agg = &OpSummary{Kind: sp.Kind, Name: sp.Name}
+			byKey[key] = agg
+			order = append(order, key)
+		}
+		agg.Count++
+		agg.WallNS += sp.WallNS
+		agg.CostVMS += sp.CostVMS
+		agg.RowsIn += sp.RowsIn
+		agg.RowsOut += sp.RowsOut
+	}
+	sum := Summary{Spans: len(c.spans), Events: len(c.events)}
+	for _, key := range order {
+		sum.Ops = append(sum.Ops, *byKey[key])
+	}
+	sort.SliceStable(sum.Ops, func(a, b int) bool {
+		if sum.Ops[a].CostVMS != sum.Ops[b].CostVMS {
+			return sum.Ops[a].CostVMS > sum.Ops[b].CostVMS
+		}
+		return sum.Ops[a].Name < sum.Ops[b].Name
+	})
+	if len(c.metrics) > 0 {
+		sum.Metrics = make(map[string]float64, len(c.metrics))
+		for k, v := range c.metrics {
+			sum.Metrics[k] = v
+		}
+	}
+	return sum
+}

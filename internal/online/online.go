@@ -29,10 +29,12 @@ package online
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"probpred/internal/blob"
 	"probpred/internal/core"
 	"probpred/internal/mathx"
+	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
 )
@@ -59,6 +61,11 @@ type Config struct {
 	Seed uint64
 	// Watchdog shapes the accuracy circuit breaker.
 	Watchdog WatchdogConfig
+	// Obs receives KindTrain spans for every (re)training plus watchdog
+	// state-transition events (online.train, watchdog.trip,
+	// watchdog.probation, watchdog.close, watchdog.breach). Nil disables
+	// tracing.
+	Obs *obs.Tracer
 }
 
 // WatchdogConfig shapes the per-clause accuracy circuit breaker.
@@ -234,16 +241,26 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	}
 	cfg := s.cfg.Train
 	cfg.Seed ^= uint64(s.Trainings+1) * 0x9e37
+	sp := s.cfg.Obs.Begin(obs.KindTrain, key)
 	pp, err := core.Train(key, train, val, cfg)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		s.cfg.Obs.End(&sp)
 		return fmt.Errorf("online: training %q: %w", key, err)
 	}
+	sp.RowsIn = train.Len()
+	sp.SetAttr("approach", pp.Approach)
+	sp.SetAttr("retrain", strconv.FormatBool(st.breaker == BreakerOpen))
+	s.cfg.Obs.End(&sp)
+	s.cfg.Obs.Event("online.train", obs.Attr{Key: "clause", Value: key},
+		obs.Attr{Key: "labels", Value: strconv.Itoa(len(st.labels))})
 	s.corpus.Add(pp)
 	st.trained = true
 	st.sinceLastTrain = 0
 	s.Trainings++
 	if st.breaker == BreakerOpen {
 		st.breaker = BreakerProbation
+		s.cfg.Obs.Event("watchdog.probation", obs.Attr{Key: "clause", Value: key})
 	}
 	return nil
 }
@@ -266,6 +283,7 @@ func (s *System) Decide(pred query.Pred, accuracy, udfCost float64) (*optimizer.
 		Accuracy: accuracy,
 		UDFCost:  udfCost,
 		Domains:  s.cfg.Domains,
+		Obs:      s.cfg.Obs,
 	})
 }
 
@@ -328,6 +346,8 @@ func (s *System) reportClause(key string, st *clauseState, pass bool) {
 			return
 		}
 		st.breaches++
+		s.cfg.Obs.Event("watchdog.breach", obs.Attr{Key: "clause", Value: key},
+			obs.Attr{Key: "consecutive", Value: strconv.Itoa(st.breaches)})
 		if st.breaches >= s.cfg.Watchdog.K {
 			s.trip(key, st)
 		}
@@ -335,6 +355,7 @@ func (s *System) reportClause(key string, st *clauseState, pass bool) {
 		if pass {
 			st.breaker = BreakerClosed
 			st.breaches = 0
+			s.cfg.Obs.Event("watchdog.close", obs.Attr{Key: "clause", Value: key})
 		} else {
 			s.trip(key, st)
 		}
@@ -352,6 +373,9 @@ func (s *System) trip(key string, st *clauseState) {
 	st.sinceLastTrain = 0
 	s.corpus.Remove(key)
 	s.Trips++
+	s.cfg.Obs.Event("watchdog.trip", obs.Attr{Key: "clause", Value: key},
+		obs.Attr{Key: "trips_total", Value: strconv.Itoa(s.Trips)})
+	s.cfg.Obs.Metric("watchdog.trips", 1)
 }
 
 // Breaker returns a clause's watchdog state (BreakerClosed for clauses this

@@ -33,7 +33,13 @@ type costOpts struct {
 	// fixedOrder disables the execution-order search: sub-expressions run
 	// in written order instead of cheapest-effective-first.
 	fixedOrder bool
+	// counters, when set, profiles the DP's memo table across costExpr
+	// calls for SearchStats.
+	counters *memoCounters
 }
+
+// memoCounters profiles the costing DP's memo table.
+type memoCounters struct{ hits, entries int }
 
 // costExpr computes the minimum-plan-cost instantiation of e at query
 // accuracy target a, for a query whose remaining per-blob UDF cost is u.
@@ -51,7 +57,13 @@ type memoKey struct {
 func evalExpr(e Expr, a, u float64, opts costOpts, memo map[memoKey]*plan) *plan {
 	key := memoKey{node: e, acc: int64(math.Round(a * 1e6))}
 	if p, ok := memo[key]; ok {
+		if opts.counters != nil {
+			opts.counters.hits++
+		}
 		return p
+	}
+	if opts.counters != nil {
+		opts.counters.entries++
 	}
 	var out *plan
 	switch n := e.(type) {

@@ -27,11 +27,16 @@ type generator struct {
 	// skip flags clause-pair keys known to be dependent (A.5); expressions
 	// containing a flagged pair are suppressed.
 	skip map[string]bool
+	// generated / deduped profile the run for SearchStats: raw expressions
+	// produced by the rewrite rules, and how many of them were exact
+	// duplicates of an earlier candidate.
+	generated, deduped int
 }
 
 // gen returns the candidate expressions implied by p, deduplicated.
 func (g *generator) gen(p query.Pred) []Expr {
 	cands := g.genRaw(query.NNF(p))
+	g.generated = len(cands)
 	seen := map[string]bool{}
 	var out []Expr
 	for _, e := range cands {
@@ -43,6 +48,7 @@ func (g *generator) gen(p query.Pred) []Expr {
 		}
 		key := e.String()
 		if seen[key] {
+			g.deduped++
 			continue
 		}
 		seen[key] = true

@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"testing"
+
+	"probpred/internal/obs"
+	"probpred/internal/query"
+)
+
+// TestOptimizeSearchStats: every Optimize call must profile its own plan
+// search — candidates generated/costed, memo behaviour, wall time.
+func TestOptimizeSearchStats(t *testing.T) {
+	val := miniBlobs(2000, 61)
+	c := miniCorpus(t, val)
+	opt := New(c)
+	dec, err := opt.Optimize(query.MustParse("t=SUV & c=red"), Options{
+		Accuracy: 0.95, UDFCost: 100, Domains: miniDomains(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dec.Search
+	if s.Costed != dec.NumCandidates {
+		t.Fatalf("Costed = %d, NumCandidates = %d", s.Costed, dec.NumCandidates)
+	}
+	if s.Generated < s.Costed {
+		t.Fatalf("Generated %d < Costed %d", s.Generated, s.Costed)
+	}
+	if s.MemoEntries == 0 {
+		t.Fatal("DP search stored no memo entries")
+	}
+	if s.WallNS <= 0 {
+		t.Fatalf("WallNS = %d", s.WallNS)
+	}
+	// The uncovered-predicate path must fill stats too (zero candidates).
+	dec2, err := opt.Optimize(query.MustParse("z=1"), Options{Accuracy: 0.9, UDFCost: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Inject || dec2.Search.Costed != 0 || dec2.Search.WallNS <= 0 {
+		t.Fatalf("uncovered-predicate stats wrong: %+v", dec2.Search)
+	}
+}
+
+// TestOptimizeEmitsSpanAndMetrics: with a tracer attached, one optimize span
+// and the search counters reach the sink.
+func TestOptimizeEmitsSpanAndMetrics(t *testing.T) {
+	val := miniBlobs(2000, 62)
+	c := miniCorpus(t, val)
+	opt := New(c)
+	col := obs.NewCollector()
+	pred := query.MustParse("t=SUV & c=red")
+	dec, err := opt.Optimize(pred, Options{
+		Accuracy: 0.95, UDFCost: 100, Domains: miniDomains(), Obs: obs.New(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1 optimize span", len(spans))
+	}
+	sp := spans[0]
+	if sp.Kind != obs.KindOptimize || sp.Name != pred.String() {
+		t.Fatalf("span = %s/%q", sp.Kind, sp.Name)
+	}
+	if sp.CostVMS != dec.PlanCost {
+		t.Fatalf("span cost %v, plan cost %v", sp.CostVMS, dec.PlanCost)
+	}
+	if sp.WallNS != dec.Search.WallNS {
+		t.Fatalf("span wall %d, search wall %d", sp.WallNS, dec.Search.WallNS)
+	}
+	sum := col.Summary()
+	if sum.Metrics["optimizer.searches"] != 1 {
+		t.Fatalf("searches metric = %v", sum.Metrics["optimizer.searches"])
+	}
+	if got := sum.Metrics["optimizer.candidates_costed"]; got != float64(dec.Search.Costed) {
+		t.Fatalf("candidates_costed = %v, want %d", got, dec.Search.Costed)
+	}
+	if dec.Inject && sum.Metrics["optimizer.injected"] != 1 {
+		t.Fatalf("injected metric = %v for an injecting decision", sum.Metrics["optimizer.injected"])
+	}
+}

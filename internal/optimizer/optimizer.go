@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"time"
 
+	"probpred/internal/obs"
 	"probpred/internal/query"
 )
 
@@ -29,6 +32,10 @@ type Options struct {
 	// DisableOrderSearch executes sub-expressions in written order instead
 	// of cheapest-effective-first — an ablation knob for §6.2's ordering.
 	DisableOrderSearch bool
+	// Obs receives one KindOptimize span per Optimize call plus
+	// plan-search counters (expressions costed, memo hits, chosen plan
+	// cost/reduction). Nil disables tracing.
+	Obs *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -77,9 +84,31 @@ type Decision struct {
 	Alternatives []Alternative
 	// NumPPs is the number of PP leaves in the chosen expression.
 	NumPPs int
+	// Search profiles the plan search that produced this decision.
+	Search SearchStats
 	// leaves caches the chosen expression's clause keys for the A.5
 	// dependence feedback loop.
 	leaves []string
+}
+
+// SearchStats counts the work one Optimize call performed — the optimizer's
+// own profile, emitted to Options.Obs and embedded in the Decision.
+type SearchStats struct {
+	// Generated is how many candidate expressions the rewrite rules
+	// produced before deduplication and the k-leaf bound.
+	Generated int
+	// Deduped is how many generated candidates were suppressed as exact
+	// duplicates of an earlier expression.
+	Deduped int
+	// Costed is how many surviving candidates went through the §6.2
+	// costing dynamic program (= Decision.NumCandidates).
+	Costed int
+	// MemoHits / MemoEntries profile the costing DP's memo table: entries
+	// are distinct (sub-expression, accuracy) plans computed, hits are
+	// lookups served without recomputation.
+	MemoHits, MemoEntries int
+	// WallNS is the real time the search took.
+	WallNS int64
 }
 
 // LeafClauses returns the clause keys of the PPs in the chosen expression
@@ -130,6 +159,7 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 			BaselineCost: opts.UDFCost,
 		}, nil
 	}
+	start := time.Now()
 	g := &generator{
 		corpus:  o.corpus,
 		domains: opts.Domains,
@@ -142,7 +172,12 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 		NumCandidates: len(candidates),
 		PlanCost:      opts.UDFCost,
 	}
-	copts := costOpts{uniformBudget: opts.DisableBudgetSearch, fixedOrder: opts.DisableOrderSearch}
+	memoCount := &memoCounters{}
+	copts := costOpts{
+		uniformBudget: opts.DisableBudgetSearch,
+		fixedOrder:    opts.DisableOrderSearch,
+		counters:      memoCount,
+	}
 	var bestPlan *plan
 	var bestExpr Expr
 	for _, e := range candidates {
@@ -159,21 +194,56 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 		}
 	}
 	sortAlternatives(dec.Alternatives)
-	if bestPlan == nil || planCost(bestPlan, opts.UDFCost) >= opts.UDFCost {
-		return dec, nil // running as-is is cheapest
+	if bestPlan != nil && planCost(bestPlan, opts.UDFCost) < opts.UDFCost {
+		dec.Inject = true
+		dec.Expr = bestExpr.String()
+		dec.LeafAccuracies = describeLeafAccuracies(bestPlan)
+		dec.Cost = bestPlan.cost
+		dec.Reduction = bestPlan.reduction
+		dec.PlanCost = planCost(bestPlan, opts.UDFCost)
+		dec.Filter = compilePlan(bestPlan, bestExpr.String())
+		for _, pp := range bestExpr.Leaves(nil) {
+			dec.leaves = append(dec.leaves, pp.Clause)
+		}
+		dec.NumPPs = len(dec.leaves)
 	}
-	dec.Inject = true
-	dec.Expr = bestExpr.String()
-	dec.LeafAccuracies = describeLeafAccuracies(bestPlan)
-	dec.Cost = bestPlan.cost
-	dec.Reduction = bestPlan.reduction
-	dec.PlanCost = planCost(bestPlan, opts.UDFCost)
-	dec.Filter = compilePlan(bestPlan, bestExpr.String())
-	for _, pp := range bestExpr.Leaves(nil) {
-		dec.leaves = append(dec.leaves, pp.Clause)
+	dec.Search = SearchStats{
+		Generated:   g.generated,
+		Deduped:     g.deduped,
+		Costed:      len(candidates),
+		MemoHits:    memoCount.hits,
+		MemoEntries: memoCount.entries,
+		WallNS:      time.Since(start).Nanoseconds(),
 	}
-	dec.NumPPs = len(dec.leaves)
+	o.emitSearch(opts.Obs, pred, dec)
 	return dec, nil
+}
+
+// emitSearch publishes one optimization's span and counters.
+func (o *Optimizer) emitSearch(tr *obs.Tracer, pred query.Pred, dec *Decision) {
+	if !tr.Enabled() {
+		return
+	}
+	sp := tr.Begin(obs.KindOptimize, pred.String())
+	sp.Start = sp.Start.Add(-time.Duration(dec.Search.WallNS))
+	sp.SetAttr("injected", strconv.FormatBool(dec.Inject))
+	sp.SetAttr("candidates", strconv.Itoa(dec.Search.Costed))
+	sp.SetAttr("memo_hits", strconv.Itoa(dec.Search.MemoHits))
+	if dec.Inject {
+		sp.SetAttr("expr", dec.Expr)
+		sp.SetAttr("reduction", strconv.FormatFloat(dec.Reduction, 'f', 3, 64))
+	}
+	sp.CostVMS = dec.PlanCost
+	sp.WallNS = dec.Search.WallNS
+	tr.EmitSpan(sp)
+	tr.Metric("optimizer.searches", 1)
+	tr.Metric("optimizer.candidates_generated", float64(dec.Search.Generated))
+	tr.Metric("optimizer.candidates_costed", float64(dec.Search.Costed))
+	tr.Metric("optimizer.memo_hits", float64(dec.Search.MemoHits))
+	tr.Metric("optimizer.memo_entries", float64(dec.Search.MemoEntries))
+	if dec.Inject {
+		tr.Metric("optimizer.injected", 1)
+	}
 }
 
 // sortAlternatives orders candidates by ascending plan cost, then

@@ -52,6 +52,7 @@ import (
 	"probpred/internal/engine"
 	"probpred/internal/fault"
 	"probpred/internal/mathx"
+	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
 	"probpred/internal/udf"
@@ -146,6 +147,42 @@ type (
 	// FaultSpec configures one operator's transient and straggler rates.
 	FaultSpec = fault.Spec
 )
+
+// Observability: the engine, optimizer, and online loop emit spans, events,
+// and metrics to a pluggable sink. A nil *Tracer (the default) disables
+// everything at near-zero cost; attach one via ExecConfig.Obs or
+// OptimizeOptions.Obs.
+type (
+	// Tracer records spans/events/metrics into a Sink; nil disables tracing.
+	Tracer = obs.Tracer
+	// TraceSink receives completed trace records.
+	TraceSink = obs.Sink
+	// Span is one timed unit of work (an engine run, an operator, a chunk,
+	// an optimizer search, a training call).
+	Span = obs.Span
+	// TraceEvent is a point-in-time occurrence (watchdog trips, retrains).
+	TraceEvent = obs.Event
+	// TraceMetric is one named numeric observation.
+	TraceMetric = obs.Metric
+	// TraceCollector is an in-memory Sink that aggregates into a TraceSummary.
+	TraceCollector = obs.Collector
+	// TraceSummary aggregates collected spans per (kind, name).
+	TraceSummary = obs.Summary
+)
+
+// NewTracer returns a tracer writing to sink; a nil sink yields a nil
+// (disabled) tracer.
+func NewTracer(sink TraceSink) *Tracer { return obs.New(sink) }
+
+// NewTextTraceSink returns a sink that renders each record as one human-
+// readable line (what ppquery --trace uses).
+func NewTextTraceSink(w io.Writer) TraceSink { return obs.NewTextSink(w) }
+
+// NewJSONTraceSink returns a sink that writes each record as one JSON line.
+func NewJSONTraceSink(w io.Writer) TraceSink { return obs.NewJSONSink(w) }
+
+// NewTraceCollector returns an in-memory collecting sink.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
 
 // NewFaultInjector returns an injector with no faults configured.
 func NewFaultInjector(seed uint64) *FaultInjector { return fault.NewInjector(seed) }
