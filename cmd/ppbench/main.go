@@ -4,7 +4,8 @@
 // Usage:
 //
 //	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
-//	        [-json BENCH_pp.json] [-pprof localhost:6060]
+//	        [-json BENCH_pp.json] [-hotpath BENCH_hotpath.json]
+//	        [-pprof localhost:6060]
 //
 // The experiment ids match DESIGN.md's per-experiment index. Output of a
 // full run is recorded in EXPERIMENTS.md next to the paper's numbers.
@@ -34,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced dataset sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (BENCH_pp.json) to this path")
+	hotpathPath := flag.String("hotpath", "", "measure the scalar-vs-batch scoring hot path and write BENCH_hotpath.json to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	flag.Parse()
 
@@ -53,11 +55,33 @@ func main() {
 		fmt.Printf("pprof: http://%s/debug/pprof/\n\n", *pprofAddr)
 	}
 
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	if *hotpathPath != "" {
+		doc, rep, err := bench.RunHotpath(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		f, err := os.Create(*hotpathPath)
+		if err == nil {
+			err = doc.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote hot-path report to %s\n", *hotpathPath)
+		return
+	}
+
 	ids := bench.Order
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
-	cfg := bench.Config{Seed: *seed, Quick: *quick}
 	var doc *bench.JSONDocument
 	if *jsonPath != "" {
 		doc = bench.NewJSONDocument(*seed, *quick)

@@ -27,6 +27,7 @@ var Experiments = map[string]Runner{
 	"ablation-k":      AblationK,
 	"ablation-model":  AblationModelSelection,
 	"faults":          Faults,
+	"hotpath":         Hotpath,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -36,7 +37,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
-	"faults",
+	"faults", "hotpath",
 }
 
 // Run executes one experiment by id.

@@ -1,0 +1,118 @@
+// Batch scoring fast path. The paper's premise is that PPs are cheap enough
+// to run on every input blob (§5, Table 5); this file keeps the simulator
+// itself cheap by scoring whole batches through flat, recycled buffers
+// instead of allocating a reduced vector per blob and dispatching through
+// two interfaces per row.
+//
+// The fast path engages only when both halves of the PP opt in: the reducer
+// implements dimred.BatchReducer and the scorer implements BatchScorer. Both
+// interfaces carry a bit-identicality contract — per-row accumulation order
+// must match the scalar path exactly — so ScoreBatch is a drop-in replacement
+// for a Score loop everywhere, including threshold comparisons and the
+// engine's virtual-cost accounting. Third-party reducers or scorers that
+// implement neither interface simply take the per-row fallback loop.
+package core
+
+import (
+	"sync"
+
+	"probpred/internal/blob"
+	"probpred/internal/dimred"
+)
+
+// BatchScorer is the optional batch fast path of Scorer: score many reduced
+// vectors held row-major in one flat buffer. The built-in families implement
+// it (svm: one flat dot-product sweep; dnn: blocked forward pass; kde:
+// batched KNN over reusable scratch). Results must be bit-identical to
+// calling Score on each row — implementations that cannot guarantee that
+// must not implement the interface.
+type BatchScorer interface {
+	Scorer
+	// ScoreBatch scores the len(out) vectors stored row-major in xs (row i
+	// is xs[i*d:(i+1)*d]) into out.
+	ScoreBatch(xs []float64, d int, out []float64)
+}
+
+// scoreTile bounds how many rows ScoreBatch reduces before scoring them.
+// Tiling keeps the flat reduction buffer cache-resident: the scorer sweeps
+// rows the reducer just wrote instead of re-streaming a batch-sized buffer
+// from memory. Per-row results are independent of the tile boundary, so the
+// bit-identicality contract is unaffected.
+const scoreTile = 256
+
+// flatPool recycles the row-major reduction buffers ScoreBatch fills.
+var flatPool sync.Pool
+
+func getFlat(n int) []float64 {
+	if p, ok := flatPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putFlat(buf []float64) { flatPool.Put(&buf) }
+
+// ScoreBatch scores every blob into dst (len(dst) must equal len(blobs)),
+// bit-identical to calling Score per blob. When both the reducer and the
+// scorer support batching, all reductions are written into one recycled
+// row-major buffer and scored in a single sweep; otherwise each blob takes
+// the scalar path.
+func (p *PP) ScoreBatch(blobs []blob.Blob, dst []float64) {
+	br, rok := p.reducer.(dimred.BatchReducer)
+	bs, sok := p.scorer.(BatchScorer)
+	if !rok || !sok {
+		for i, b := range blobs {
+			dst[i] = p.Score(b)
+		}
+		return
+	}
+	d := p.reducer.OutDim()
+	flat := getFlat(min(len(blobs), scoreTile) * d)
+	for lo := 0; lo < len(blobs); lo += scoreTile {
+		hi := min(lo+scoreTile, len(blobs))
+		br.ReduceBatch(blobs[lo:hi], flat[:(hi-lo)*d])
+		bs.ScoreBatch(flat[:(hi-lo)*d], d, dst[lo:hi])
+	}
+	putFlat(flat)
+	if p.negated {
+		for i := range dst[:len(blobs)] {
+			dst[i] = -dst[i]
+		}
+	}
+}
+
+// PassBatch evaluates Pass for every blob at target accuracy a into dst
+// (len(dst) must equal len(blobs)), through the batch scoring path.
+func (p *PP) PassBatch(blobs []blob.Blob, a float64, dst []bool) {
+	th := p.curve.Threshold(a)
+	scores := getFlat(len(blobs))
+	p.ScoreBatch(blobs, scores)
+	for i, s := range scores {
+		dst[i] = s >= th
+	}
+	putFlat(scores)
+}
+
+// scoreAll scores a raw reducer+scorer pair over blobs into a fresh slice,
+// batching when both halves support it — the shared kernel behind curve
+// construction, model selection and recalibration.
+func scoreAll(reducer dimred.Reducer, scorer Scorer, blobs []blob.Blob) []float64 {
+	scores := make([]float64, len(blobs))
+	br, rok := reducer.(dimred.BatchReducer)
+	bs, sok := scorer.(BatchScorer)
+	if !rok || !sok {
+		for i, b := range blobs {
+			scores[i] = scorer.Score(reducer.Reduce(b))
+		}
+		return scores
+	}
+	d := reducer.OutDim()
+	flat := getFlat(min(len(blobs), scoreTile) * d)
+	for lo := 0; lo < len(blobs); lo += scoreTile {
+		hi := min(lo+scoreTile, len(blobs))
+		br.ReduceBatch(blobs[lo:hi], flat[:(hi-lo)*d])
+		bs.ScoreBatch(flat[:(hi-lo)*d], d, scores[lo:hi])
+	}
+	putFlat(flat)
+	return scores
+}

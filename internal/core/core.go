@@ -166,10 +166,7 @@ func NewPP(clause, approach string, reducer dimred.Reducer, scorer Scorer, val b
 	if val.Len() == 0 {
 		return nil, fmt.Errorf("core: NewPP %q: empty validation set", clause)
 	}
-	scores := make([]float64, val.Len())
-	for i, b := range val.Blobs {
-		scores[i] = scorer.Score(reducer.Reduce(b))
-	}
+	scores := scoreAll(reducer, scorer, val.Blobs)
 	curve, err := NewCurve(scores, val.Labels)
 	if err != nil {
 		return nil, fmt.Errorf("core: NewPP %q: %w", clause, err)
@@ -206,10 +203,7 @@ func Train(clause string, train, val blob.Set, cfg TrainConfig) (*PP, error) {
 		return nil, fmt.Errorf("core: training PP %q with %s: %w", clause, approach, err)
 	}
 	elapsed := time.Since(start)
-	scores := make([]float64, val.Len())
-	for i, b := range val.Blobs {
-		scores[i] = scorer.Score(reducer.Reduce(b))
-	}
+	scores := scoreAll(reducer, scorer, val.Blobs)
 	curve, err := NewCurve(scores, val.Labels)
 	if err != nil {
 		return nil, fmt.Errorf("core: building curve for %q: %w", clause, err)
@@ -304,9 +298,7 @@ func (p *PP) Recalibrate(val blob.Set) error {
 		return fmt.Errorf("core: recalibrating %q: empty validation set", p.Clause)
 	}
 	scores := make([]float64, val.Len())
-	for i, b := range val.Blobs {
-		scores[i] = p.Score(b)
-	}
+	p.ScoreBatch(val.Blobs, scores)
 	curve, err := NewCurve(scores, val.Labels)
 	if err != nil {
 		return fmt.Errorf("core: recalibrating %q: %w", p.Clause, err)

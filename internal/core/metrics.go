@@ -26,12 +26,16 @@ type Metrics struct {
 	N int
 }
 
-// Evaluate measures a PP on a labeled test set at target accuracy a.
+// Evaluate measures a PP on a labeled test set at target accuracy a. Scoring
+// goes through the batch fast path, which is bit-identical to a scalar Score
+// loop.
 func Evaluate(p *PP, test blob.Set, a float64) Metrics {
 	th := p.Threshold(a)
+	scores := getFlat(test.Len())
+	p.ScoreBatch(test.Blobs, scores)
 	var pass, posPass, pos, negPass int
-	for i, b := range test.Blobs {
-		passed := p.Score(b) >= th
+	for i := range test.Blobs {
+		passed := scores[i] >= th
 		if passed {
 			pass++
 		}
@@ -44,6 +48,7 @@ func Evaluate(p *PP, test blob.Set, a float64) Metrics {
 			negPass++
 		}
 	}
+	putFlat(scores)
 	m := Metrics{TargetAccuracy: a, N: test.Len()}
 	if test.Len() == 0 {
 		return m

@@ -73,10 +73,7 @@ func evalApproach(approach string, trainSample, valSample blob.Set, cfg TrainCon
 	if err != nil {
 		return 0, err
 	}
-	scores := make([]float64, valSample.Len())
-	for i, b := range valSample.Blobs {
-		scores[i] = scorer.Score(reducer.Reduce(b))
-	}
+	scores := scoreAll(reducer, scorer, valSample.Blobs)
 	curve, err := NewCurve(scores, valSample.Labels)
 	if err != nil {
 		return 0, err

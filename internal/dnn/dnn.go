@@ -11,6 +11,7 @@ package dnn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"probpred/internal/mathx"
 )
@@ -92,11 +93,34 @@ func newLayer(in, out int, rng *mathx.RNG) *layer {
 
 func (l *layer) forward(in mathx.Vec) mathx.Vec {
 	out := make(mathx.Vec, l.out)
+	l.forwardInto(in, out)
+	return out
+}
+
+// forwardInto computes out = W·in + b into the caller's buffer.
+func (l *layer) forwardInto(in, out mathx.Vec) {
 	for o := 0; o < l.out; o++ {
 		row := l.w[o*l.in : (o+1)*l.in]
 		out[o] = mathx.Dot(row, in) + l.b[o]
 	}
-	return out
+}
+
+// forwardBlock applies the layer to nb inputs held row-major in `in` (row r
+// at in[r*inStride:...+l.in]) writing row-major outputs at stride l.out.
+// Rows go outermost: the input row stays register/L1-hot across every neuron,
+// output writes are contiguous, and PP-sized weight matrices are small enough
+// to stay cache-resident across rows (an o-outer ordering that re-streams the
+// whole input block per neuron measures slower here). Each (row, neuron) dot
+// product accumulates in the same index order as forwardInto, so blocked and
+// scalar outputs are bit-identical.
+func (l *layer) forwardBlock(nb int, in []float64, inStride int, out []float64) {
+	for r := 0; r < nb; r++ {
+		inRow := in[r*inStride : r*inStride+l.in]
+		outRow := out[r*l.out : (r+1)*l.out]
+		for o := 0; o < l.out; o++ {
+			outRow[o] = mathx.Dot(l.w[o*l.in:(o+1)*l.in], inRow) + l.b[o]
+		}
+	}
 }
 
 // Model is a trained network. Layers alternate affine transform and ReLU;
@@ -104,6 +128,34 @@ func (l *layer) forward(in mathx.Vec) mathx.Vec {
 type Model struct {
 	layers []*layer
 	params int
+	// scratch recycles forward-pass activation buffers across Score and
+	// ScoreBatch calls. Scoring must be safe for concurrent use (parallel
+	// engine chunks share one Model), so buffers are pooled; the zero pool is
+	// valid, which keeps gob-decoded models working without a constructor.
+	scratch sync.Pool
+}
+
+// scoreBlock is how many batch rows flow through the layers together in
+// ScoreBatch: large enough to amortize each layer-weight traversal over many
+// rows, small enough that a block of activations stays cache-resident.
+const scoreBlock = 64
+
+// fwdScratch holds two ping-pong activation blocks of scoreBlock×maxWidth.
+type fwdScratch struct{ a, b []float64 }
+
+// getScratch returns reusable activation buffers, allocating only on pool
+// misses.
+func (m *Model) getScratch() *fwdScratch {
+	if s, ok := m.scratch.Get().(*fwdScratch); ok {
+		return s
+	}
+	w := 0
+	for _, l := range m.layers {
+		if l.out > w {
+			w = l.out
+		}
+	}
+	return &fwdScratch{a: make([]float64, scoreBlock*w), b: make([]float64, scoreBlock*w)}
 }
 
 // Train fits a network to feature vectors xs and binary labels ys.
@@ -240,9 +292,21 @@ func (m *Model) step(xs []mathx.Vec, ys []bool, batch []int, lr float64, cfg Con
 
 // Score returns the output logit; larger means more likely +1.
 func (m *Model) Score(x mathx.Vec) float64 {
-	a := x
+	s := m.getScratch()
+	v := m.score(x, s)
+	m.scratch.Put(s)
+	return v
+}
+
+// score runs one forward pass through pooled ping-pong activation buffers;
+// the arithmetic (per-neuron dot products, ReLU clamping) is unchanged from
+// the historical allocate-per-layer pass.
+func (m *Model) score(x mathx.Vec, s *fwdScratch) float64 {
+	in := x
+	cur, alt := s.a, s.b
 	for i, l := range m.layers {
-		z := l.forward(a)
+		z := cur[:l.out]
+		l.forwardInto(in, z)
 		if i == len(m.layers)-1 {
 			return z[0]
 		}
@@ -251,9 +315,45 @@ func (m *Model) Score(x mathx.Vec) float64 {
 				z[j] = 0
 			}
 		}
-		a = z
+		in = z
+		cur, alt = alt, cur
 	}
 	return 0 // unreachable for a well-formed model
+}
+
+// ScoreBatch scores the len(out) vectors stored row-major in xs (row i is
+// xs[i*d:(i+1)*d]) into out. Rows flow through the network in blocks of
+// scoreBlock with the layer loop outermost, so each layer's weights are
+// traversed once per block rather than once per row, over reused activation
+// buffers. Per-row arithmetic is exactly Score's, so batch and scalar logits
+// are bit-identical (the invariant core.PP's batch fast path relies on). It
+// implements core.BatchScorer.
+func (m *Model) ScoreBatch(xs []float64, d int, out []float64) {
+	s := m.getScratch()
+	n := len(out)
+	last := len(m.layers) - 1
+	for start := 0; start < n; start += scoreBlock {
+		nb := min(scoreBlock, n-start)
+		in, inStride := xs[start*d:], d
+		cur, alt := s.a, s.b
+		for li, l := range m.layers {
+			l.forwardBlock(nb, in, inStride, cur)
+			if li == last {
+				// The output layer is a single logit: row r sits at cur[r].
+				copy(out[start:start+nb], cur[:nb])
+				break
+			}
+			z := cur[:nb*l.out]
+			for j, v := range z {
+				if v < 0 {
+					z[j] = 0
+				}
+			}
+			in, inStride = cur, l.out
+			cur, alt = alt, cur
+		}
+	}
+	m.scratch.Put(s)
 }
 
 // Name identifies the classifier family.

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"sync"
+
+	"probpred/internal/blob"
+)
+
+// BatchBlobFilter is the optional batch fast path of BlobFilter: test many
+// blobs in one call, filling per-blob pass verdicts and virtual costs. The
+// contract mirrors the scalar one exactly — pass[i] and cost[i] must equal
+// what Test(blobs[i]) would return, including the short-circuit-dependent
+// cost — so the engine can swap it in without changing results or accounting.
+// optimizer.Compiled implements it; third-party filters that only implement
+// BlobFilter take the per-row loop.
+type BatchBlobFilter interface {
+	BlobFilter
+	// TestBatch fills pass and cost for each blob. All three slices share
+	// one length.
+	TestBatch(blobs []blob.Blob, pass []bool, cost []float64)
+}
+
+// filterBatch is the recycled buffer set of one PPFilter batch: the gathered
+// blobs plus the per-blob verdict and cost outputs.
+type filterBatch struct {
+	blobs []blob.Blob
+	pass  []bool
+	cost  []float64
+}
+
+var filterBatchPool sync.Pool
+
+func getFilterBatch(n int) *filterBatch {
+	fb, ok := filterBatchPool.Get().(*filterBatch)
+	if !ok {
+		fb = &filterBatch{}
+	}
+	if cap(fb.blobs) < n {
+		fb.blobs = make([]blob.Blob, n)
+		fb.pass = make([]bool, n)
+		fb.cost = make([]float64, n)
+	}
+	fb.blobs, fb.pass, fb.cost = fb.blobs[:n], fb.pass[:n], fb.cost[:n]
+	return fb
+}
+
+func putFilterBatch(fb *filterBatch) {
+	clear(fb.blobs[:cap(fb.blobs)]) // drop blob references so pooled buffers don't pin data
+	filterBatchPool.Put(fb)
+}
+
+// run filters one batch of rows, returning the surviving rows and the total
+// virtual cost in row order. When the filter supports batching, the whole
+// input is tested as one batch through pool-recycled buffers; costs are then
+// summed per row in input order, so Stats accounting is bit-identical to the
+// scalar loop (which also adds one per-row cost at a time). The output slice
+// is preallocated at input capacity — filters only drop rows.
+func (p *PPFilter) run(in []Row) ([]Row, float64) {
+	out := make([]Row, 0, len(in))
+	total := 0.0
+	if bf, ok := p.F.(BatchBlobFilter); ok {
+		fb := getFilterBatch(len(in))
+		for i, r := range in {
+			fb.blobs[i] = r.Blob
+		}
+		bf.TestBatch(fb.blobs, fb.pass, fb.cost)
+		for i, r := range in {
+			total += fb.cost[i]
+			if fb.pass[i] {
+				out = append(out, r)
+			}
+		}
+		putFilterBatch(fb)
+		return out, total
+	}
+	for _, r := range in {
+		ok, cost := p.F.Test(r.Blob)
+		total += cost
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, total
+}

@@ -129,17 +129,11 @@ func (p *PPFilter) Name() string { return "PP[" + p.F.Name() + "]" }
 // StageBoundary implements Operator.
 func (p *PPFilter) StageBoundary() bool { return false }
 
-// Exec implements Operator.
+// Exec implements Operator. The whole input is tested as one batch when the
+// filter implements BatchBlobFilter (see run); results, row order and cost
+// accounting are identical to the per-row path.
 func (p *PPFilter) Exec(in []Row, st *Stats) ([]Row, error) {
-	var out []Row
-	total := 0.0
-	for _, r := range in {
-		ok, cost := p.F.Test(r.Blob)
-		total += cost
-		if ok {
-			out = append(out, r)
-		}
-	}
+	out, total := p.run(in)
 	st.charge(p.Name(), total)
 	return out, nil
 }

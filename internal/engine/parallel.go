@@ -123,7 +123,10 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy
 			defer wg.Done()
 			ct.begin(ci)
 			defer ct.end(ci)
-			var out []Row
+			// Preallocate at chunk size: processors usually emit one row per
+			// input, so this avoids the append-growth reallocations that used
+			// to dominate worker allocation churn.
+			out := make([]Row, 0, hi-lo)
 			total := 0.0
 			for _, r := range in[lo:hi] {
 				rows, cost, err := applyWithRetry(p.P, r, pol)
@@ -160,7 +163,11 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy
 	return out, nil
 }
 
-// execParallel tests the blob filter across chunks concurrently.
+// execParallel tests the blob filter across chunks concurrently. Each chunk
+// runs through the same batch fast path as the sequential Exec (one TestBatch
+// call per chunk over sync.Pool-recycled buffers, with a per-row fallback for
+// plain BlobFilters), so per-row results and per-chunk cost sums are
+// identical across worker counts.
 func (p *PPFilter) execParallel(in []Row, st *Stats, workers int, tr *obs.Tracer, parent *obs.Span) ([]Row, error) {
 	bounds := chunkBounds(len(in), workers)
 	results := make([][]Row, len(bounds))
@@ -173,25 +180,19 @@ func (p *PPFilter) execParallel(in []Row, st *Stats, workers int, tr *obs.Tracer
 			defer wg.Done()
 			ct.begin(ci)
 			defer ct.end(ci)
-			var out []Row
-			total := 0.0
-			for _, r := range in[lo:hi] {
-				ok, cost := p.F.Test(r.Blob)
-				total += cost
-				if ok {
-					out = append(out, r)
-				}
-			}
-			results[ci] = out
-			costs[ci] = total
+			results[ci], costs[ci] = p.run(in[lo:hi])
 		}(ci, b[0], b[1])
 	}
 	wg.Wait()
-	var out []Row
 	total := 0.0
+	n := 0
 	for i, r := range results {
-		out = append(out, r...)
+		n += len(r)
 		total += costs[i]
+	}
+	out := make([]Row, 0, n)
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	st.charge(p.Name(), total)
 	ct.emit(p.Name(), bounds, costs, results, nil)

@@ -11,6 +11,7 @@ package kde
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"probpred/internal/kdtree"
 	"probpred/internal/mathx"
@@ -41,6 +42,19 @@ type Model struct {
 	h         float64
 	neighbors int
 	dim       int
+	// scratch recycles KNN query buffers across Score calls. Scoring must be
+	// safe for concurrent use (parallel engine chunks share one Model), so
+	// buffers are pooled rather than owned outright. The zero pool is valid,
+	// which keeps gob-decoded models working without a constructor.
+	scratch sync.Pool
+}
+
+// getScratch returns a reusable KNN scratch, allocating only on pool misses.
+func (m *Model) getScratch() *kdtree.Scratch {
+	if s, ok := m.scratch.Get().(*kdtree.Scratch); ok {
+		return s
+	}
+	return &kdtree.Scratch{}
 }
 
 // Train builds class-conditional density estimators from feature vectors xs
@@ -129,7 +143,9 @@ func holdout(pts []mathx.Vec, rng *mathx.RNG) (train, val []mathx.Vec) {
 }
 
 // silverman computes Silverman's rule-of-thumb bandwidth averaged across
-// dimensions: h = 1.06 σ n^{-1/5}.
+// dimensions: h = 1.06 σ n^{-1/5}. One column buffer is reused across all d
+// per-dimension deviation sweeps, so the whole estimate costs a single
+// scratch allocation regardless of dimensionality.
 func silverman(xs []mathx.Vec) float64 {
 	n := len(xs)
 	dim := len(xs[0])
@@ -150,14 +166,16 @@ func silverman(xs []mathx.Vec) float64 {
 
 // density estimates the class-conditional density of x from tree, using the
 // n′ nearest neighbours and a Gaussian kernel of bandwidth h, normalized by
-// the class size so that the d+/d− ratio accounts for class imbalance.
-func (m *Model) density(tree *kdtree.Tree, x mathx.Vec) float64 {
+// the class size so that the d+/d− ratio accounts for class imbalance. The
+// KNN query runs through the caller's scratch so steady-state scoring does
+// not allocate.
+func (m *Model) density(tree *kdtree.Tree, x mathx.Vec, s *kdtree.Scratch) float64 {
 	k := m.neighbors
 	if k > tree.Len() {
 		k = tree.Len()
 	}
 	sum := 0.0
-	for _, r := range tree.KNN(x, k) {
+	for _, r := range tree.KNNInto(x, k, s) {
 		sum += math.Exp(-r.SqDist / (2 * m.h * m.h))
 	}
 	return sum / float64(tree.Len())
@@ -167,10 +185,32 @@ func (m *Model) density(tree *kdtree.Tree, x mathx.Vec) float64 {
 // the blob is more likely to satisfy the predicate. The log keeps scores on
 // an additive scale so that threshold sweeps (Eq. 3) are well conditioned.
 func (m *Model) Score(x mathx.Vec) float64 {
+	s := m.getScratch()
+	v := m.score(x, s)
+	m.scratch.Put(s)
+	return v
+}
+
+// score is Score over explicit scratch buffers.
+func (m *Model) score(x mathx.Vec, s *kdtree.Scratch) float64 {
 	const eps = 1e-12
-	dp := m.density(m.pos, x)
-	dn := m.density(m.neg, x)
+	dp := m.density(m.pos, x, s)
+	dn := m.density(m.neg, x, s)
 	return math.Log(dp+eps) - math.Log(dn+eps)
+}
+
+// ScoreBatch scores the len(out) vectors stored row-major in xs (row i is
+// xs[i*d:(i+1)*d]) into out, holding one KNN scratch across the whole batch
+// instead of hitting the pool per row. Per-row arithmetic — neighbour
+// retrieval order, kernel summation, smoothing — is exactly Score's, so the
+// batch path is bit-identical to the scalar one (the invariant core.PP's
+// batch fast path relies on). It implements core.BatchScorer.
+func (m *Model) ScoreBatch(xs []float64, d int, out []float64) {
+	s := m.getScratch()
+	for i := range out {
+		out[i] = m.score(xs[i*d:(i+1)*d], s)
+	}
+	m.scratch.Put(s)
 }
 
 // Name identifies the classifier family.

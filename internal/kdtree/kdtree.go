@@ -109,13 +109,30 @@ func (t *Tree) Range(q mathx.Vec, radius float64) []Result {
 	return out
 }
 
+// Scratch holds the reusable buffers of a KNN query: the candidate heap and
+// the result slice. A zero Scratch is ready to use; callers that issue many
+// queries (the KDE scorer's hot path) keep one per worker and pass it to
+// KNNInto so steady-state queries allocate nothing.
+type Scratch struct {
+	heap maxHeap
+	out  []Result
+}
+
 // KNN returns the k nearest neighbours of q sorted by ascending distance.
 // If the tree holds fewer than k points, all are returned.
 func (t *Tree) KNN(q mathx.Vec, k int) []Result {
+	var s Scratch
+	return t.KNNInto(q, k, &s)
+}
+
+// KNNInto is KNN reusing the caller's scratch buffers. The returned slice
+// aliases s and is valid until the next KNNInto call with the same scratch.
+func (t *Tree) KNNInto(q mathx.Vec, k int, s *Scratch) []Result {
 	if t.root == nil || k <= 0 {
 		return nil
 	}
-	h := &maxHeap{}
+	h := &s.heap
+	h.items = h.items[:0]
 	var walk func(n *node)
 	walk = func(n *node) {
 		if n == nil {
@@ -142,7 +159,10 @@ func (t *Tree) KNN(q mathx.Vec, k int) []Result {
 		}
 	}
 	walk(t.root)
-	out := make([]Result, h.Len())
+	if cap(s.out) < h.Len() {
+		s.out = make([]Result, h.Len())
+	}
+	out := s.out[:h.Len()]
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = h.popTop()
 	}

@@ -27,14 +27,24 @@ func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // MulVec computes y = M·x.
 func (m *Mat) MulVec(x Vec) Vec {
-	if len(x) != m.Cols {
-		panic(fmt.Sprintf("mathx: MulVec dim mismatch %d vs %d", m.Cols, len(x)))
-	}
 	y := make(Vec, m.Rows)
+	m.MulVecInto(x, y)
+	return y
+}
+
+// MulVecInto computes y = M·x into the caller's buffer (len Rows), the
+// allocation-free form hot paths use. Each output accumulates in column
+// order, so results are bit-identical to MulVec.
+func (m *Mat) MulVecInto(x, y Vec) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mathx: MulVecInto dim mismatch %d vs %d", m.Cols, len(x)))
+	}
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("mathx: MulVecInto output length %d, want %d", len(y), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		y[i] = Dot(m.Row(i), x)
 	}
-	return y
 }
 
 // MulVecT computes y = Mᵀ·x.

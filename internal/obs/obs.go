@@ -64,6 +64,16 @@ type Span struct {
 	Attrs   []Attr `json:"attrs,omitempty"`
 }
 
+// RowsPerSec returns the span's wall-clock input throughput (RowsIn over
+// WallNS), or 0 when either is unknown. It measures the simulator's real
+// speed — the batch scoring fast path's target — not the virtual cost model.
+func (sp *Span) RowsPerSec() float64 {
+	if sp.RowsIn == 0 || sp.WallNS <= 0 {
+		return 0
+	}
+	return float64(sp.RowsIn) / (float64(sp.WallNS) / 1e9)
+}
+
 // SetAttr appends an annotation. It is a no-op on the zero Span (the value
 // Begin returns when tracing is disabled), keeping disabled paths cheap.
 func (sp *Span) SetAttr(key, value string) {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestNilTracerIsSafe: a nil *Tracer is the documented default; every method
@@ -106,6 +107,43 @@ func TestCollectorSummary(t *testing.T) {
 	col.Reset()
 	if s := col.Summary(); s.Spans != 0 || s.Events != 0 || len(s.Metrics) != 0 {
 		t.Fatalf("Reset left records: %+v", s)
+	}
+}
+
+func TestRowsPerSec(t *testing.T) {
+	sp := Span{RowsIn: 500, WallNS: int64(time.Second)}
+	if got := sp.RowsPerSec(); got != 500 {
+		t.Fatalf("RowsPerSec = %v, want 500", got)
+	}
+	for _, zero := range []Span{{RowsIn: 0, WallNS: 1}, {RowsIn: 10, WallNS: 0}} {
+		if got := zero.RowsPerSec(); got != 0 {
+			t.Fatalf("RowsPerSec on %+v = %v, want 0", zero, got)
+		}
+	}
+
+	// The summary aggregates throughput over the group's total rows and wall
+	// time, and the text sink surfaces it on spans that carry rows.
+	col := NewCollector()
+	tr := New(col)
+	for i := 0; i < 2; i++ {
+		sp := tr.Begin(KindOperator, "PP[f]")
+		sp.RowsIn = 1000
+		sp.WallNS = int64(time.Millisecond)
+		tr.EmitSpan(sp)
+	}
+	sum := col.Summary()
+	if len(sum.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(sum.Ops))
+	}
+	if got := sum.Ops[0].RowsPerSec; got != 1e6 {
+		t.Fatalf("summary RowsPerSec = %v, want 1e6", got)
+	}
+
+	var buf bytes.Buffer
+	NewTextSink(&buf).Span(Span{Kind: KindOperator, Name: "PP[f]",
+		RowsIn: 1000, WallNS: int64(time.Millisecond)})
+	if !strings.Contains(buf.String(), "thru=1000000rows/s") {
+		t.Fatalf("text sink missing throughput:\n%s", buf.String())
 	}
 }
 

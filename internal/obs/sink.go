@@ -39,9 +39,13 @@ func (s *TextSink) Span(sp Span) {
 	if sp.Kind == KindChunk {
 		indent = "  "
 	}
-	fmt.Fprintf(s.w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s\n",
+	thru := ""
+	if rps := sp.RowsPerSec(); rps > 0 {
+		thru = fmt.Sprintf(" thru=%.0frows/s", rps)
+	}
+	fmt.Fprintf(s.w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s%s\n",
 		indent, sp.Kind, sp.Name, float64(sp.WallNS)/1e6, sp.CostVMS,
-		sp.RowsIn, sp.RowsOut, renderAttrs(sp.Attrs))
+		sp.RowsIn, sp.RowsOut, thru, renderAttrs(sp.Attrs))
 }
 
 // Event implements Sink.
@@ -172,6 +176,10 @@ type OpSummary struct {
 	CostVMS float64 `json:"cost_vms"`
 	RowsIn  int     `json:"rows_in"`
 	RowsOut int     `json:"rows_out"`
+	// RowsPerSec is the aggregate wall-clock input throughput (total RowsIn
+	// over total WallNS) — how fast the simulator itself chewed through this
+	// operator's rows, across every span in the group.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
 }
 
 // Summary is the aggregate view of a collector — what BENCH_pp.json embeds
@@ -206,7 +214,11 @@ func (c *Collector) Summary() Summary {
 	}
 	sum := Summary{Spans: len(c.spans), Events: len(c.events)}
 	for _, key := range order {
-		sum.Ops = append(sum.Ops, *byKey[key])
+		agg := byKey[key]
+		if agg.RowsIn > 0 && agg.WallNS > 0 {
+			agg.RowsPerSec = float64(agg.RowsIn) / (float64(agg.WallNS) / 1e9)
+		}
+		sum.Ops = append(sum.Ops, *agg)
 	}
 	sort.SliceStable(sum.Ops, func(a, b int) bool {
 		if sum.Ops[a].CostVMS != sum.Ops[b].CostVMS {

@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"sync"
+
+	"probpred/internal/blob"
+)
+
+// Batch evaluation of compiled PP expressions (engine.BatchBlobFilter).
+//
+// The scalar Test walks the expression tree once per blob, short-circuiting
+// conjunctions on the first failing kid and disjunctions on the first passing
+// kid; the virtual cost charged to a blob therefore depends on which leaves
+// actually ran. TestBatch preserves that exactly while still scoring each
+// leaf over many rows at once: every node receives the list of row indices
+// still "active" at that point of the walk, a leaf gathers just those rows
+// and scores them through core.PP.ScoreBatch (the allocation-free batch
+// kernel), and conjunction/disjunction nodes compact the active list between
+// kids instead of branching per row. Because a leaf adds its constant cost to
+// cost[i] in the same kid order the scalar walk would have, and ScoreBatch is
+// bit-identical to per-row Score, pass/cost come out identical to the scalar
+// path for every row.
+
+// batchScratch holds the recycled buffers of one TestBatch call: a free-list
+// of index slices for the per-node active lists plus the gather buffers the
+// leaves score through. One scratch is used by one goroutine at a time.
+type batchScratch struct {
+	idxFree [][]int
+	blobs   []blob.Blob
+	scores  []float64
+}
+
+var batchScratchPool sync.Pool
+
+func getBatchScratch() *batchScratch {
+	if s, ok := batchScratchPool.Get().(*batchScratch); ok {
+		return s
+	}
+	return &batchScratch{}
+}
+
+func putBatchScratch(s *batchScratch) {
+	clear(s.blobs[:cap(s.blobs)]) // drop blob references so the pool doesn't pin data
+	batchScratchPool.Put(s)
+}
+
+// getIdx returns an empty index slice with capacity ≥ n, reusing a previously
+// released one when available.
+func (s *batchScratch) getIdx(n int) []int {
+	if last := len(s.idxFree) - 1; last >= 0 {
+		sl := s.idxFree[last]
+		s.idxFree = s.idxFree[:last]
+		if cap(sl) >= n {
+			return sl[:0]
+		}
+	}
+	return make([]int, 0, n)
+}
+
+func (s *batchScratch) putIdx(sl []int) { s.idxFree = append(s.idxFree, sl) }
+
+// TestBatch implements engine.BatchBlobFilter: pass[i] and cost[i] are
+// exactly what Test(blobs[i]) would return, including short-circuit cost.
+func (c *Compiled) TestBatch(blobs []blob.Blob, pass []bool, cost []float64) {
+	n := len(blobs)
+	clear(cost[:n])
+	s := getBatchScratch()
+	act := s.getIdx(n)
+	for i := 0; i < n; i++ {
+		act = append(act, i)
+	}
+	c.node.testBatch(blobs, act, pass, cost, s)
+	s.putIdx(act)
+	putBatchScratch(s)
+}
+
+func (l *compiledLeaf) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {
+	n := len(active)
+	if cap(s.blobs) < n {
+		s.blobs = make([]blob.Blob, n)
+		s.scores = make([]float64, n)
+	}
+	bs, sc := s.blobs[:n], s.scores[:n]
+	for j, i := range active {
+		bs[j] = blobs[i]
+	}
+	l.pp.ScoreBatch(bs, sc)
+	for j, i := range active {
+		pass[i] = sc[j] >= l.threshold
+		cost[i] += l.cost
+	}
+}
+
+func (c *compiledConj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {
+	if len(c.kids) == 0 {
+		for _, i := range active {
+			pass[i] = true
+		}
+		return
+	}
+	act := append(s.getIdx(len(active)), active...)
+	for _, k := range c.kids {
+		k.testBatch(blobs, act, pass, cost, s)
+		// Rows the kid failed are decided (pass[i] = false stays); the rest
+		// continue to the next kid, mirroring the scalar short-circuit.
+		keep := act[:0]
+		for _, i := range act {
+			if pass[i] {
+				keep = append(keep, i)
+			}
+		}
+		act = keep
+		if len(act) == 0 {
+			break
+		}
+	}
+	s.putIdx(act)
+}
+
+func (d *compiledDisj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {
+	if len(d.kids) == 0 {
+		for _, i := range active {
+			pass[i] = false
+		}
+		return
+	}
+	act := append(s.getIdx(len(active)), active...)
+	for _, k := range d.kids {
+		k.testBatch(blobs, act, pass, cost, s)
+		// Rows the kid passed are decided (pass[i] = true stays); only the
+		// still-failing rows try the next branch.
+		keep := act[:0]
+		for _, i := range act {
+			if !pass[i] {
+				keep = append(keep, i)
+			}
+		}
+		act = keep
+		if len(act) == 0 {
+			break
+		}
+	}
+	s.putIdx(act)
+}
+
+func (dropAllNode) testBatch(_ []blob.Blob, active []int, pass []bool, _ []float64, _ *batchScratch) {
+	for _, i := range active {
+		pass[i] = false
+	}
+}

@@ -1,0 +1,142 @@
+package optimizer
+
+import (
+	"reflect"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+	"probpred/internal/engine"
+	"probpred/internal/query"
+)
+
+// compileMini optimizes a compound predicate over the mini corpus and returns
+// the injected Compiled filter — conj/disj structure with short-circuit
+// evaluation, the hardest case for batch/scalar cost equivalence.
+func compileMini(t *testing.T, pred string, blobs []blob.Blob) *Compiled {
+	t.Helper()
+	c := miniCorpus(t, blobs)
+	dec, err := New(c).Optimize(query.MustParse(pred), Options{
+		Accuracy: 0.95, UDFCost: 100, Domains: miniDomains(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject || dec.Filter == nil {
+		t.Fatalf("expected injection for %q: %+v", pred, dec)
+	}
+	return dec.Filter
+}
+
+// TestCompiledTestBatchMatchesTest checks the BatchBlobFilter contract on
+// real optimizer output: per-row pass verdicts and short-circuit-dependent
+// costs must equal the scalar walk exactly.
+func TestCompiledTestBatchMatchesTest(t *testing.T) {
+	blobs := miniBlobs(1500, 21)
+	for _, pred := range []string{
+		"t=SUV & c=red",
+		"t=SUV | t=van",
+		"(t=SUV | t=van) & s>50",
+		"t=SUV & (c=red | c=white) & s<70",
+	} {
+		t.Run(pred, func(t *testing.T) {
+			f := compileMini(t, pred, blobs)
+			pass := make([]bool, len(blobs))
+			cost := make([]float64, len(blobs))
+			// Two passes so the second runs over recycled pool scratch.
+			for i := 0; i < 2; i++ {
+				f.TestBatch(blobs, pass, cost)
+			}
+			for i, b := range blobs {
+				wantPass, wantCost := f.Test(b)
+				if pass[i] != wantPass || cost[i] != wantCost {
+					t.Fatalf("row %d: batch (%v, %v) scalar (%v, %v)",
+						i, pass[i], cost[i], wantPass, wantCost)
+				}
+			}
+		})
+	}
+}
+
+// scalarOnly hides Compiled's TestBatch so the engine takes the per-row path.
+type scalarOnly struct{ f engine.BlobFilter }
+
+func (s scalarOnly) Name() string                     { return s.f.Name() }
+func (s scalarOnly) Test(b blob.Blob) (bool, float64) { return s.f.Test(b) }
+
+// TestPPFilterBatchEquivalence runs the same plan with the batch path on and
+// off, sequentially and with Workers=4 (under -race this also proves the
+// pooled buffers are race-free): output rows, row order and the full Stats
+// accounting must be identical.
+func TestPPFilterBatchEquivalence(t *testing.T) {
+	blobs := miniBlobs(2000, 33)
+	f := compileMini(t, "(t=SUV | t=van) & s>50", blobs)
+	run := func(filter engine.BlobFilter, workers int) *engine.Result {
+		res, err := engine.Run(engine.Plan{Ops: []engine.Operator{
+			&engine.Scan{Blobs: blobs},
+			&engine.PPFilter{F: filter},
+		}}, engine.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Compare batch against scalar at the same worker count: chunked cost
+	// summation already reorders float additions across worker counts, so
+	// cross-count totals may differ in the last ulp — the batch path's
+	// contract is per-row and per-chunk identity.
+	for _, workers := range []int{1, 4} {
+		want := run(scalarOnly{f}, workers)
+		got := run(f, workers)
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("workers=%d: %d rows, scalar %d", workers, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			if got.Rows[i].Blob.ID != want.Rows[i].Blob.ID {
+				t.Fatalf("workers=%d row %d: blob %d, scalar %d",
+					workers, i, got.Rows[i].Blob.ID, want.Rows[i].Blob.ID)
+			}
+		}
+		if got.ClusterTime != want.ClusterTime {
+			t.Fatalf("workers=%d: cluster time %v, scalar %v",
+				workers, got.ClusterTime, want.ClusterTime)
+		}
+		if !reflect.DeepEqual(got.Stats.OpCost, want.Stats.OpCost) {
+			t.Fatalf("workers=%d: op costs %v, scalar %v",
+				workers, got.Stats.OpCost, want.Stats.OpCost)
+		}
+	}
+}
+
+// TestPPFilterBatchEquivalenceTrainedPPs repeats the engine equivalence with
+// PPs whose reducer and scorer actually implement the batch interfaces
+// (miniCorpus scorers do not), so the flat-buffer fast path itself is what
+// runs inside TestBatch.
+func TestPPFilterBatchEquivalenceTrainedPPs(t *testing.T) {
+	set := miniSet(t, miniBlobs(1200, 77), "s>50")
+	train, val, rest := set.Split(mathxNewRNG(5), 0.4, 0.3)
+	pp, err := core.Train("s>50", train, val, core.TrainConfig{Approach: "Raw+SVM", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCorpus()
+	c.Add(pp)
+	dec, err := New(c).Optimize(query.MustParse("s>50"), Options{Accuracy: 0.95, UDFCost: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject {
+		t.Fatalf("expected injection: %+v", dec)
+	}
+	blobs := rest.Blobs
+	pass := make([]bool, len(blobs))
+	cost := make([]float64, len(blobs))
+	dec.Filter.TestBatch(blobs, pass, cost)
+	for i, b := range blobs {
+		wantPass, wantCost := dec.Filter.Test(b)
+		if pass[i] != wantPass || cost[i] != wantCost {
+			t.Fatalf("row %d: batch (%v, %v) scalar (%v, %v)",
+				i, pass[i], cost[i], wantPass, wantCost)
+		}
+	}
+}

@@ -86,6 +86,11 @@ type compiledNode interface {
 	// test returns pass/fail and the virtual cost actually incurred, which
 	// depends on short-circuiting.
 	test(b blob.Blob) (bool, float64)
+	// testBatch evaluates the node over the rows listed in active (indices
+	// into blobs), setting pass[i] for every active i and accumulating into
+	// cost[i] exactly the virtual cost test(blobs[i]) would have charged.
+	// It may read but must not mutate active. See batch.go.
+	testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch)
 }
 
 type compiledLeaf struct {

@@ -123,6 +123,20 @@ func (m *Model) Score(x mathx.Vec) float64 {
 	return mathx.Dot(m.W, x) + m.B
 }
 
+// ScoreBatch scores the len(out) vectors stored row-major in xs (row i is
+// xs[i*d:(i+1)*d]) into out: one flat sweep over the buffer that reuses W
+// from cache line to cache line instead of re-dispatching through the Scorer
+// interface per row. Each row's dot product accumulates in the same index
+// order as Score, so batch and scalar results are bit-identical (the
+// invariant core.PP's batch fast path relies on). It implements
+// core.BatchScorer.
+func (m *Model) ScoreBatch(xs []float64, d int, out []float64) {
+	w := m.W
+	for i := range out {
+		out[i] = mathx.Dot(w, xs[i*d:(i+1)*d]) + m.B
+	}
+}
+
 // Name identifies the classifier family.
 func (m *Model) Name() string { return "SVM" }
 
