@@ -5,7 +5,7 @@
 //
 //	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
 //	        [-json BENCH_pp.json] [-hotpath BENCH_hotpath.json]
-//	        [-pprof localhost:6060]
+//	        [-pprof localhost:6060] [-metrics localhost:9090] [-hold]
 //
 // The experiment ids match DESIGN.md's per-experiment index. Output of a
 // full run is recorded in EXPERIMENTS.md next to the paper's numbers.
@@ -14,7 +14,10 @@
 // a machine-readable report (per-experiment metrics, trace summaries, Go
 // runtime metadata) is written to the given path — the perf trajectory file
 // CI archives as BENCH_pp.json. With -pprof, a net/http/pprof server runs
-// for the duration so long benchmarks can be profiled live.
+// for the duration so long benchmarks can be profiled live. With -metrics,
+// the engine runs under a live metrics registry served as Prometheus text on
+// http://addr/metrics, alongside /healthz and /debug/pprof/ on the same mux;
+// -hold keeps that server up after the experiments finish (for scrapers).
 package main
 
 import (
@@ -23,10 +26,13 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"probpred/internal/bench"
+	"probpred/internal/metrics"
 )
 
 func main() {
@@ -37,6 +43,8 @@ func main() {
 	jsonPath := flag.String("json", "", "also write a machine-readable report (BENCH_pp.json) to this path")
 	hotpathPath := flag.String("hotpath", "", "measure the scalar-vs-batch scoring hot path and write BENCH_hotpath.json to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:9090) while running")
+	hold := flag.Bool("hold", false, "with -metrics or -pprof: keep serving after experiments finish, until interrupted")
 	flag.Parse()
 
 	if *list {
@@ -56,6 +64,14 @@ func main() {
 	}
 
 	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	if *metricsAddr != "" {
+		reg := metrics.New()
+		cfg.Metrics = reg
+		metrics.Serve(*metricsAddr, reg, func(err error) {
+			fmt.Fprintf(os.Stderr, "ppbench: metrics server: %v\n", err)
+		})
+		fmt.Printf("metrics: http://%s/metrics\n\n", *metricsAddr)
+	}
 	if *hotpathPath != "" {
 		doc, rep, err := bench.RunHotpath(cfg)
 		if err != nil {
@@ -123,5 +139,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote machine-readable report to %s\n", *jsonPath)
+	}
+	if *hold && (*metricsAddr != "" || *pprofAddr != "") {
+		fmt.Println("experiments done; holding diagnostics server open (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }

@@ -6,11 +6,22 @@
 // Usage:
 //
 //	ppquery [-pred "t=SUV & c=red"] [-accuracy 0.95] [-rows 20000] [-seed N] [-explain]
-//	        [-trace]
+//	        [-trace] [-metrics addr] [-metrics-dump file.json]
+//
+// -explain prints the candidate PP expressions and an EXPLAIN ANALYZE tree
+// for the executed PP plan: per-operator estimated vs actual rows, virtual
+// cost, wall time, PP pass rates, and MISESTIMATE flags where the actuals
+// fell outside tolerance.
 //
 // -trace streams the observability layer's records to stderr: one span per
 // engine run and per operator (wall-clock + virtual cost + cardinalities)
-// and the optimizer's plan-search span with its counters.
+// and the optimizer's plan-search span with its counters. Independent of
+// -trace, a flight recorder buffers the most recent records and dumps them
+// to stderr automatically if a run fails.
+//
+// -metrics serves Prometheus text on http://addr/metrics (plus /healthz and
+// /debug/pprof/) for the duration of the process; -metrics-dump writes a
+// one-shot JSON snapshot of every instrument when the query finishes.
 package main
 
 import (
@@ -20,61 +31,95 @@ import (
 
 	"probpred/internal/bench"
 	"probpred/internal/engine"
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
 )
 
+type options struct {
+	predStr     string
+	accuracy    float64
+	rows        int
+	seed        uint64
+	explain     bool
+	corpusFile  string
+	trace       bool
+	metricsAddr string
+	metricsDump string
+}
+
 func main() {
-	predStr := flag.String("pred", "t=SUV & c=red", "query predicate over columns t,c,s,i,o")
-	accuracy := flag.Float64("accuracy", 0.95, "query-wide accuracy target in (0,1]")
-	rows := flag.Int("rows", 20000, "test stream size")
-	seed := flag.Uint64("seed", 42, "stream + training seed")
-	explain := flag.Bool("explain", false, "print candidate PP expressions and the plan profile")
-	corpusFile := flag.String("corpus", "", "load the PP corpus from this file if it exists; otherwise train and save it")
-	trace := flag.Bool("trace", false, "stream execution + optimizer spans to stderr")
+	var o options
+	flag.StringVar(&o.predStr, "pred", "t=SUV & c=red", "query predicate over columns t,c,s,i,o")
+	flag.Float64Var(&o.accuracy, "accuracy", 0.95, "query-wide accuracy target in (0,1]")
+	flag.IntVar(&o.rows, "rows", 20000, "test stream size")
+	flag.Uint64Var(&o.seed, "seed", 42, "stream + training seed")
+	flag.BoolVar(&o.explain, "explain", false, "print candidate PP expressions and the EXPLAIN ANALYZE tree")
+	flag.StringVar(&o.corpusFile, "corpus", "", "load the PP corpus from this file if it exists; otherwise train and save it")
+	flag.BoolVar(&o.trace, "trace", false, "stream execution + optimizer spans to stderr")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. :9090)")
+	flag.StringVar(&o.metricsDump, "metrics-dump", "", "write a JSON metrics snapshot to this file at exit")
 	flag.Parse()
 
-	if err := run(*predStr, *accuracy, *rows, *seed, *explain, *corpusFile, *trace); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ppquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, corpusFile string, trace bool) error {
-	pred, err := query.Parse(predStr)
+func run(o options) error {
+	pred, err := query.Parse(o.predStr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("predicate: %s  (accuracy target %.2f)\n", pred, accuracy)
-	var tracer *obs.Tracer
-	if trace {
-		tracer = obs.New(obs.NewTextSink(os.Stderr))
+	fmt.Printf("predicate: %s  (accuracy target %.2f)\n", pred, o.accuracy)
+
+	// The flight recorder rides along unconditionally: it buffers the most
+	// recent spans/events and dumps them to stderr only when a run fails.
+	recorder := obs.NewFlightRecorder(256, os.Stderr)
+	sinks := []obs.Sink{recorder}
+	if o.trace {
+		sinks = append(sinks, obs.NewTextSink(os.Stderr))
 	}
-	cfg := bench.Config{Seed: seed, Quick: rows <= 5000, Obs: tracer}
-	h, err := loadOrTrainHarness(cfg, corpusFile)
+	tracer := obs.New(obs.Multi(sinks...))
+
+	reg := metrics.New()
+	if o.metricsAddr != "" {
+		metrics.Serve(o.metricsAddr, reg, func(err error) {
+			fmt.Fprintln(os.Stderr, "ppquery: metrics server:", err)
+		})
+		fmt.Printf("metrics: serving http://%s/metrics\n", o.metricsAddr)
+	}
+
+	cfg := bench.Config{Seed: o.seed, Quick: o.rows <= 5000, Obs: tracer, Metrics: reg}
+	h, err := loadOrTrainHarness(cfg, o.corpusFile)
 	if err != nil {
 		return err
 	}
-	if rows < len(h.TestBlobs) {
-		h.TestBlobs = h.TestBlobs[:rows]
+	h.Opt.SetMetrics(reg)
+	h.Opt.SetObs(tracer)
+	if o.rows < len(h.TestBlobs) {
+		h.TestBlobs = h.TestBlobs[:o.rows]
 	}
 	fmt.Printf("corpus: %d PPs trained in %s; stream: %d rows\n\n",
 		h.Opt.Corpus().Size(), h.CorpusTrainTime.Round(1e6), len(h.TestBlobs))
 
+	execCfg := engine.Config{Obs: tracer, Metrics: reg}
 	nopPlan, u, err := h.NoPPlan(pred)
 	if err != nil {
 		return err
 	}
-	nop, err := engine.Run(nopPlan, engine.Config{Obs: tracer})
+	nop, err := engine.Run(nopPlan, execCfg)
 	if err != nil {
 		return err
 	}
-	ppPlan, dec, err := h.PPPlan(pred, accuracy)
+	ppPlan, dec, err := h.PPPlan(pred, o.accuracy)
 	if err != nil {
 		return err
 	}
-	pp, err := engine.Run(ppPlan, engine.Config{Obs: tracer})
+	dec.Filter.Instrument(reg)
+	pp, err := engine.Run(ppPlan, execCfg)
 	if err != nil {
 		return err
 	}
@@ -87,9 +132,16 @@ func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, 
 	} else {
 		fmt.Println("picked:    none — running the query as-is is cheapest")
 	}
-	if explain {
+	if o.explain {
 		for _, alt := range dec.Alternatives {
 			fmt.Printf("  candidate: %-60s est r=%.2f plan=%.1f\n", alt.Expr, alt.Reduction, alt.PlanCost)
+		}
+	}
+
+	// Feed the observed reduction back to the optimizer (A.5 drift loop).
+	for _, op := range pp.PerOp {
+		if op.PPFilter && op.RowsIn > 0 {
+			h.Opt.ObserveRuntime(dec, 1-float64(op.RowsOut)/float64(op.RowsIn))
 		}
 	}
 
@@ -107,10 +159,14 @@ func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, 
 	if len(nop.Rows) > 0 {
 		acc = float64(retained) / float64(len(nop.Rows))
 	}
-	if explain {
+	if o.explain {
+		est, eerr := estimateRows(h, ppPlan, dec, pred)
+		if eerr != nil {
+			return eerr
+		}
 		fmt.Println()
-		fmt.Println("PP plan profile:")
-		fmt.Println(pp.Summary(ppPlan))
+		fmt.Println("PP plan:")
+		fmt.Println(pp.Analyze(engine.AnalyzeOptions{EstimatedRows: est}))
 	}
 	fmt.Println()
 	fmt.Printf("%-8s %14s %14s %8s\n", "plan", "cluster (vms)", "latency (vms)", "rows")
@@ -118,7 +174,50 @@ func run(predStr string, accuracy float64, rows int, seed uint64, explain bool, 
 	fmt.Printf("%-8s %14.0f %14.0f %8d\n", "PP", pp.ClusterTime, pp.Latency, len(pp.Rows))
 	fmt.Printf("\nspeed-up: %.2fx cluster time, %.2fx latency; accuracy: %.3f\n",
 		nop.ClusterTime/pp.ClusterTime, nop.Latency/pp.Latency, acc)
+
+	if o.metricsDump != "" {
+		f, err := os.Create(o.metricsDump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", o.metricsDump)
+	}
 	return nil
+}
+
+// estimateRows builds the planner's estimated output cardinality for each
+// operator of the PP plan: the scan emits the whole stream, an injected PP
+// filter keeps (1−reduction) of it, UDF processors pass rows through, and
+// the final σ keeps the predicate's training-prefix selectivity share of the
+// stream. Unknown operator types carry the running estimate forward.
+func estimateRows(h *bench.TrafficHarness, p engine.Plan, dec *optimizer.Decision, pred query.Pred) ([]float64, error) {
+	sel, err := h.Selectivity(pred)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(h.TestBlobs))
+	cur := n
+	est := make([]float64, 0, len(p.Ops))
+	for _, op := range p.Ops {
+		switch op.(type) {
+		case *engine.Scan:
+			cur = n
+		case *engine.PPFilter:
+			cur *= 1 - dec.Reduction
+		case *engine.Select:
+			// Selectivity is measured over the full stream; the σ's output
+			// cannot exceed what reached it.
+			if s := n * sel; s < cur {
+				cur = s
+			}
+		}
+		est = append(est, cur)
+	}
+	return est, nil
 }
 
 // loadOrTrainHarness builds the harness, reusing a previously saved corpus

@@ -14,6 +14,7 @@ import (
 	"probpred/internal/data"
 	"probpred/internal/engine"
 	"probpred/internal/mathx"
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/svm"
 )
@@ -29,11 +30,14 @@ type Config struct {
 	// optimizer searches the experiments perform (cmd/ppbench attaches a
 	// collector per experiment for the BENCH_pp.json trace summaries).
 	Obs *obs.Tracer
+	// Metrics, when set, receives the engine's numeric telemetry from every
+	// experiment run (cmd/ppbench serves it on -metrics).
+	Metrics *metrics.Registry
 }
 
 // Exec is the engine configuration experiments run plans under, carrying
-// the attached tracer.
-func (c Config) Exec() engine.Config { return engine.Config{Obs: c.Obs} }
+// the attached tracer and metrics registry.
+func (c Config) Exec() engine.Config { return engine.Config{Obs: c.Obs, Metrics: c.Metrics} }
 
 // scale returns quick when cfg.Quick, else full.
 func (c Config) scale(full, quick int) int {

@@ -9,6 +9,7 @@ import (
 	"probpred/internal/core"
 	"probpred/internal/data"
 	"probpred/internal/engine"
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
@@ -86,6 +87,9 @@ type TrafficHarness struct {
 	// Obs receives the optimizer's plan-search spans and counters for
 	// queries planned through this harness (set from Config.Obs).
 	Obs *obs.Tracer
+	// Metrics receives per-approach training counters for PPs trained
+	// through this harness (set from Config.Metrics).
+	Metrics *metrics.Registry
 
 	seed uint64
 }
@@ -101,6 +105,7 @@ func NewTrafficHarness(cfg Config) (*TrafficHarness, error) {
 		TestBlobs:   all[trainRows:],
 		PPTrainTime: map[string]time.Duration{},
 		Obs:         cfg.Obs,
+		Metrics:     cfg.Metrics,
 		seed:        cfg.Seed,
 	}
 	corpus := optimizer.NewCorpus()
@@ -131,6 +136,7 @@ func NewTrafficHarnessWithCorpus(cfg Config, corpus *optimizer.Corpus) (*Traffic
 		Opt:         optimizer.New(corpus),
 		PPTrainTime: map[string]time.Duration{},
 		Obs:         cfg.Obs,
+		Metrics:     cfg.Metrics,
 		seed:        cfg.Seed,
 	}, nil
 }
@@ -148,7 +154,8 @@ func (h *TrafficHarness) TrainPP(clause string, salt uint64) (*core.PP, error) {
 	train, val, _ := set.Split(newRNG(h.seed^salt), 0.8, 0.2)
 	return core.Train(clause, train, val, core.TrainConfig{
 		Approach: "Raw+SVM", Seed: h.seed + salt,
-		SVM: svmConfigForTraffic(),
+		SVM:     svmConfigForTraffic(),
+		Metrics: h.Metrics,
 	})
 }
 

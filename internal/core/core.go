@@ -20,6 +20,7 @@ import (
 	"probpred/internal/dnn"
 	"probpred/internal/kde"
 	"probpred/internal/mathx"
+	"probpred/internal/metrics"
 	"probpred/internal/svm"
 )
 
@@ -60,6 +61,9 @@ type TrainConfig struct {
 	SelectionAccuracy float64
 	// Seed drives all randomized steps.
 	Seed uint64
+	// Metrics (optional) records per-approach training counts and wall-clock
+	// histograms. Nil disables.
+	Metrics *metrics.Registry
 }
 
 func (c *TrainConfig) fill() {
@@ -203,6 +207,11 @@ func Train(clause string, train, val blob.Set, cfg TrainConfig) (*PP, error) {
 		return nil, fmt.Errorf("core: training PP %q with %s: %w", clause, approach, err)
 	}
 	elapsed := time.Since(start)
+	if reg := cfg.Metrics; reg != nil {
+		lbl := metrics.L("approach", approach)
+		reg.Counter("pp_trainings_total", "PPs trained per approach.", lbl).Inc()
+		reg.Histogram("pp_train_wall_ns", "Real wall-clock training duration per approach, nanoseconds.", lbl).Observe(float64(elapsed.Nanoseconds()))
+	}
 	scores := scoreAll(reducer, scorer, val.Blobs)
 	curve, err := NewCurve(scores, val.Labels)
 	if err != nil {

@@ -3,7 +3,9 @@ package engine
 import (
 	"fmt"
 	"strconv"
+	"time"
 
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 )
 
@@ -65,6 +67,12 @@ type Config struct {
 	// child spans on the row-parallel path. Nil disables tracing at
 	// near-zero overhead.
 	Obs *obs.Tracer
+	// Metrics receives numeric telemetry: per-operator cost/wall/cardinality
+	// histograms and counters, run totals, PP filter pass counters, and
+	// retry/timeout counters. Instruments are resolved per operator per run,
+	// never per row, so the batch hot path stays allocation-free with a live
+	// registry. Nil disables metrics at one pointer check per run.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() {
@@ -88,6 +96,19 @@ type OpStats struct {
 	RowsIn, RowsOut int
 	// Cost is the virtual cost this operator alone charged.
 	Cost float64
+	// WallNS is the operator's real wall-clock duration. Unlike spans it is
+	// measured unconditionally (two clock reads per operator), so EXPLAIN
+	// ANALYZE works without attaching a sink.
+	WallNS int64
+	// StageBoundary mirrors the operator's StageBoundary() at execution
+	// time, letting renderers regroup PerOp rows into stages.
+	StageBoundary bool
+	// PPFilter marks injected probabilistic-predicate filters, whose
+	// rows-out/rows-in ratio is the observed PP pass rate.
+	PPFilter bool
+	// Retries / Timeouts count this operator's retried transient failures
+	// and row-timeout kills.
+	Retries, Timeouts int
 }
 
 // Result is the outcome of running a plan.
@@ -120,6 +141,7 @@ func Run(p Plan, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("engine: empty plan")
 	}
 	runSpan := cfg.Obs.Begin(obs.KindRun, "plan")
+	runStart := time.Now()
 	st := newStats()
 	var rows []Row
 	perOp := make([]OpStats, 0, len(p.Ops))
@@ -134,7 +156,10 @@ func Run(p Plan, cfg Config) (*Result, error) {
 		// operators execute one at a time.
 		before := st.OpCost[op.Name()]
 		opSpan := cfg.Obs.BeginChild(&runSpan, obs.KindOperator, op.Name())
-		out, err := runOp(op, rows, st, cfg, &opSpan)
+		var tally retryTally
+		opStart := time.Now()
+		out, err := runOp(op, rows, st, cfg, &opSpan, &tally)
+		wallNS := time.Since(opStart).Nanoseconds()
 		cost := st.OpCost[op.Name()] - before
 		opSpan.CostVMS = cost
 		opSpan.RowsIn = len(rows)
@@ -145,10 +170,18 @@ func Run(p Plan, cfg Config) (*Result, error) {
 			runSpan.CostVMS = st.Cluster
 			runSpan.SetAttr("error", err.Error())
 			cfg.Obs.End(&runSpan)
+			emitOpMetrics(cfg.Metrics, op, len(rows), 0, cost, wallNS, tally)
+			emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true)
 			return nil, &OpError{Stage: len(stageCosts) - 1, Op: op.Name(), Err: err}
 		}
 		cfg.Obs.End(&opSpan)
-		perOp = append(perOp, OpStats{Name: op.Name(), RowsIn: len(rows), RowsOut: len(out), Cost: cost})
+		emitOpMetrics(cfg.Metrics, op, len(rows), len(out), cost, wallNS, tally)
+		_, isPP := op.(*PPFilter)
+		perOp = append(perOp, OpStats{
+			Name: op.Name(), RowsIn: len(rows), RowsOut: len(out), Cost: cost,
+			WallNS: wallNS, StageBoundary: op.StageBoundary(), PPFilter: isPP,
+			Retries: tally.retries, Timeouts: tally.timeouts,
+		})
 		stageCosts[len(stageCosts)-1] += cost
 		st.RowsOut[op.Name()] += len(out)
 		rows = out
@@ -162,12 +195,14 @@ func Run(p Plan, cfg Config) (*Result, error) {
 	runSpan.SetAttr("stages", strconv.Itoa(len(stageCosts)))
 	runSpan.SetAttr("latency_vms", strconv.FormatFloat(latency, 'f', 1, 64))
 	cfg.Obs.End(&runSpan)
-	return &Result{
+	res := &Result{
 		Rows:        rows,
 		ClusterTime: st.Cluster,
 		Latency:     latency,
 		Stages:      len(stageCosts),
 		Stats:       st,
 		PerOp:       perOp,
-	}, nil
+	}
+	emitRunMetrics(cfg.Metrics, res, time.Since(runStart).Nanoseconds(), false)
+	return res, nil
 }

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"probpred/internal/metrics"
+)
+
+// Numeric telemetry for the execution engine (Config.Metrics). Instruments
+// are resolved once per operator per run — never inside row loops — so a live
+// registry adds no per-row allocations to the batch hot path; a nil registry
+// costs one pointer check per run (the same contract as the nil obs.Tracer).
+
+// retryTally accumulates one operator execution's retry activity. It is
+// plumbed through the per-row retry loop as plain ints (per-chunk on the
+// parallel path, summed at the merge), so counting is free of atomics and
+// allocations even under Workers > 1.
+type retryTally struct {
+	// retries is how many failed attempts were retried.
+	retries int
+	// timeouts is how many attempts were killed at the row-timeout deadline.
+	timeouts int
+}
+
+func (t *retryTally) add(o retryTally) {
+	t.retries += o.retries
+	t.timeouts += o.timeouts
+}
+
+// emitRunMetrics records one completed (or failed) Run.
+func emitRunMetrics(reg *metrics.Registry, res *Result, wallNS int64, failed bool) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_runs_total", "Engine plan executions started.").Inc()
+	if failed {
+		reg.Counter("engine_run_errors_total", "Engine plan executions that failed.").Inc()
+		return
+	}
+	reg.Histogram("engine_run_cluster_vms", "Total cluster processing time per run, virtual ms.").Observe(res.ClusterTime)
+	reg.Histogram("engine_run_latency_vms", "Modeled end-to-end latency per run, virtual ms.").Observe(res.Latency)
+	reg.Histogram("engine_run_wall_ns", "Real wall-clock duration per run, nanoseconds.").Observe(float64(wallNS))
+}
+
+// emitOpMetrics records one operator execution within a run.
+func emitOpMetrics(reg *metrics.Registry, op Operator, rowsIn, rowsOut int, cost float64, wallNS int64, tally retryTally) {
+	if reg == nil {
+		return
+	}
+	name := op.Name()
+	opLabel := metrics.L("op", name)
+	reg.Counter("engine_op_rows_in_total", "Rows entering each operator.", opLabel).Add(float64(rowsIn))
+	reg.Counter("engine_op_rows_out_total", "Rows leaving each operator.", opLabel).Add(float64(rowsOut))
+	reg.Histogram("engine_op_cost_vms", "Virtual cost charged per operator execution, virtual ms.", opLabel).Observe(cost)
+	reg.Histogram("engine_op_wall_ns", "Real wall-clock duration per operator execution, nanoseconds.", opLabel).Observe(float64(wallNS))
+	if tally.retries > 0 {
+		reg.Counter("engine_retries_total", "Transient row failures retried by the engine.", opLabel).Add(float64(tally.retries))
+	}
+	if tally.timeouts > 0 {
+		reg.Counter("engine_row_timeouts_total", "Row attempts killed at the per-row virtual timeout.", opLabel).Add(float64(tally.timeouts))
+	}
+	if _, ok := op.(*PPFilter); ok {
+		fLabel := metrics.L("filter", name)
+		reg.Counter("engine_ppfilter_tested_total", "Blobs tested by injected PP filters.", fLabel).Add(float64(rowsIn))
+		reg.Counter("engine_ppfilter_passed_total", "Blobs passing injected PP filters.", fLabel).Add(float64(rowsOut))
+	}
+}

@@ -33,11 +33,11 @@ func TestParallelErrorChargesPartialWork(t *testing.T) {
 	p := &Process{P: fakeUDF{name: "U", cost: cost, col: "x"}}
 
 	seqSt := newStats()
-	if _, err := p.exec(mkRows(), seqSt, RetryPolicy{}); err == nil {
+	if _, err := p.exec(mkRows(), seqSt, RetryPolicy{}, nil); err == nil {
 		t.Fatal("sequential path should fail")
 	}
 	parSt := newStats()
-	if _, err := p.execParallel(mkRows(), parSt, 4, RetryPolicy{}, nil, nil); err == nil {
+	if _, err := p.execParallel(mkRows(), parSt, 4, RetryPolicy{}, nil, nil, nil); err == nil {
 		t.Fatal("parallel path should fail")
 	}
 

@@ -56,18 +56,19 @@ func (p *Process) StageBoundary() bool { return false }
 
 // Exec implements Operator.
 func (p *Process) Exec(in []Row, st *Stats) ([]Row, error) {
-	return p.exec(in, st, RetryPolicy{})
+	return p.exec(in, st, RetryPolicy{}, nil)
 }
 
 // exec is Exec under a retry policy: each row's attempts, backoffs and
 // timeouts are charged to the operator's virtual cost. A failing row still
 // charges the work performed before and during the failure (all attempts and
 // backoffs) — a cluster bills for a task's work whether or not it succeeds.
-func (p *Process) exec(in []Row, st *Stats, pol RetryPolicy) ([]Row, error) {
+// tally (optional) accumulates retry/timeout counts for the metrics layer.
+func (p *Process) exec(in []Row, st *Stats, pol RetryPolicy, tally *retryTally) ([]Row, error) {
 	var out []Row
 	total := 0.0
 	for _, r := range in {
-		rows, cost, err := applyWithRetry(p.P, r, pol)
+		rows, cost, err := applyWithRetry(p.P, r, pol, tally)
 		total += cost
 		if err != nil {
 			st.charge(p.Name(), total)

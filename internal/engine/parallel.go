@@ -21,19 +21,20 @@ import (
 // runOp executes one operator, using the parallel path for row-parallel
 // operators when cfg.Workers > 1 and threading the retry policy into
 // processor execution. parent is the operator's span, under which the
-// parallel path emits per-chunk child spans.
-func runOp(op Operator, in []Row, st *Stats, cfg Config, parent *obs.Span) ([]Row, error) {
+// parallel path emits per-chunk child spans; tally accumulates the
+// operator's retry/timeout counts for the metrics layer.
+func runOp(op Operator, in []Row, st *Stats, cfg Config, parent *obs.Span, tally *retryTally) ([]Row, error) {
 	workers := cfg.Workers
 	if workers > 1 && len(in) >= 2*workers {
 		switch o := op.(type) {
 		case *Process:
-			return o.execParallel(in, st, workers, cfg.Retry, cfg.Obs, parent)
+			return o.execParallel(in, st, workers, cfg.Retry, cfg.Obs, parent, tally)
 		case *PPFilter:
 			return o.execParallel(in, st, workers, cfg.Obs, parent)
 		}
 	}
 	if p, ok := op.(*Process); ok {
-		return p.exec(in, st, cfg.Retry)
+		return p.exec(in, st, cfg.Retry, tally)
 	}
 	return op.Exec(in, st)
 }
@@ -110,11 +111,12 @@ func (ct *chunkTrace) emit(opName string, bounds [][2]int, costs []float64, resu
 // completed chunks, the failing chunk's rows before the failure, and all
 // retry attempts — is still charged, matching the sequential path's
 // charge-then-fail accounting.
-func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy, tr *obs.Tracer, parent *obs.Span) ([]Row, error) {
+func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy, tr *obs.Tracer, parent *obs.Span, tally *retryTally) ([]Row, error) {
 	bounds := chunkBounds(len(in), workers)
 	results := make([][]Row, len(bounds))
 	costs := make([]float64, len(bounds))
 	errs := make([]error, len(bounds))
+	tallies := make([]retryTally, len(bounds))
 	ct := newChunkTrace(tr, parent, len(bounds))
 	var wg sync.WaitGroup
 	for ci, b := range bounds {
@@ -129,7 +131,7 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy
 			out := make([]Row, 0, hi-lo)
 			total := 0.0
 			for _, r := range in[lo:hi] {
-				rows, cost, err := applyWithRetry(p.P, r, pol)
+				rows, cost, err := applyWithRetry(p.P, r, pol, &tallies[ci])
 				total += cost
 				if err != nil {
 					errs[ci] = fmt.Errorf("processor %s: %w", p.P.Name(), err)
@@ -150,6 +152,11 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy
 		total += c
 	}
 	st.charge(p.Name(), total)
+	if tally != nil {
+		for _, t := range tallies {
+			tally.add(t)
+		}
+	}
 	ct.emit(p.Name(), bounds, costs, results, errs)
 	for _, err := range errs {
 		if err != nil {

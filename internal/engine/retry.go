@@ -115,8 +115,10 @@ func applyOnce(p Processor, r Row) ([]Row, float64, error) {
 
 // applyWithRetry applies a processor to one row under the retry policy. The
 // returned cost is the total virtual ms consumed: every attempt (successful,
-// failed, or killed at the timeout deadline) plus every backoff wait.
-func applyWithRetry(p Processor, r Row, pol RetryPolicy) ([]Row, float64, error) {
+// failed, or killed at the timeout deadline) plus every backoff wait. tally,
+// when non-nil, counts timeout kills and retried attempts (plain int
+// increments: the caller owns one tally per goroutine).
+func applyWithRetry(p Processor, r Row, pol RetryPolicy, tally *retryTally) ([]Row, float64, error) {
 	total := 0.0
 	for attempt := 1; ; attempt++ {
 		rows, elapsed, err := applyOnce(p, r)
@@ -126,6 +128,9 @@ func applyWithRetry(p Processor, r Row, pol RetryPolicy) ([]Row, float64, error)
 			err = &rowTimeoutError{op: p.Name(), elapsed: elapsed, budget: pol.RowTimeoutMS}
 			elapsed = pol.RowTimeoutMS
 			rows = nil
+			if tally != nil {
+				tally.timeouts++
+			}
 		}
 		total += elapsed
 		if err == nil {
@@ -133,6 +138,9 @@ func applyWithRetry(p Processor, r Row, pol RetryPolicy) ([]Row, float64, error)
 		}
 		if !IsTransient(err) || attempt >= pol.attempts() {
 			return nil, total, err
+		}
+		if tally != nil {
+			tally.retries++
 		}
 		total += pol.backoff(attempt)
 	}

@@ -15,6 +15,8 @@ package fault
 import (
 	"fmt"
 	"math"
+
+	"probpred/internal/metrics"
 )
 
 // Spec configures the fault behaviour of one operator (or the default for
@@ -62,6 +64,13 @@ type Injector struct {
 	seed  uint64
 	def   Spec
 	specs map[string]Spec
+	// transientCtr / stragglerCtr count injected faults when a registry is
+	// attached via SetMetrics; both are resolved once there, so Decide pays a
+	// single nil check when metrics are off. Counting never perturbs the
+	// decisions themselves — those stay a pure hash of (seed, op, blob,
+	// attempt).
+	transientCtr *metrics.Counter
+	stragglerCtr *metrics.Counter
 }
 
 // NewInjector returns an injector with no faults configured: until SetDefault
@@ -72,6 +81,17 @@ func NewInjector(seed uint64) *Injector {
 
 // SetDefault configures the spec used by operators without their own.
 func (i *Injector) SetDefault(s Spec) { i.def = s }
+
+// SetMetrics attaches a metrics registry counting injected transient failures
+// and stragglers. Nil detaches.
+func (i *Injector) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		i.transientCtr, i.stragglerCtr = nil, nil
+		return
+	}
+	i.transientCtr = reg.Counter("fault_injected_transient_total", "Transient failures injected into UDF attempts.")
+	i.stragglerCtr = reg.Counter("fault_injected_straggler_total", "Straggling attempts injected into UDF execution.")
+}
 
 // Set configures one operator's spec, overriding the default.
 func (i *Injector) Set(op string, s Spec) { i.specs[op] = s }
@@ -96,10 +116,16 @@ func (i *Injector) Decide(op string, blobID, attempt int) Outcome {
 	if s.TransientRate > 0 && attempt <= s.MaxConsecutive &&
 		hashFloat(i.seed, op, blobID, attempt, 0x7a11) < s.TransientRate {
 		out.Fail = true
+		if i.transientCtr != nil {
+			i.transientCtr.Inc()
+		}
 	}
 	if s.StragglerRate > 0 &&
 		hashFloat(i.seed, op, blobID, attempt, 0x51c0) < s.StragglerRate {
 		out.SlowFactor = s.StragglerFactor
+		if i.stragglerCtr != nil {
+			i.stragglerCtr.Inc()
+		}
 	}
 	return out
 }

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4): HELP/TYPE comments per
+// family, one sample line per series, histograms as cumulative le-buckets
+// plus _sum and _count. Only non-empty buckets are emitted — with 300+
+// log-scale buckets per histogram, empty runs would dominate the payload.
+
+// WriteProm writes the registry in Prometheus text format. A nil registry
+// writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var err error
+	lastFamily := ""
+	r.visit(func(f *family, labels []Label, s *series) {
+		if err != nil {
+			return
+		}
+		name := sanitizeName(f.name)
+		if f.name != lastFamily {
+			lastFamily = f.name
+			if f.help != "" {
+				_, err = fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(f.help))
+				if err != nil {
+					return
+				}
+			}
+			if _, err = fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+				return
+			}
+		}
+		switch f.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(labels), formatValue(s.ctr.Value()))
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(labels), formatValue(s.gauge.Value()))
+		case KindHistogram:
+			err = writePromHistogram(w, name, labels, s.hist)
+		}
+	})
+	return err
+}
+
+// writePromHistogram emits one histogram series: cumulative buckets (ending
+// with le="+Inf"), then _sum and _count.
+func writePromHistogram(w io.Writer, name string, labels []Label, h *Histogram) error {
+	rows := h.snapshotBuckets()
+	var cum uint64
+	for _, row := range rows {
+		cum = row.cumCount
+		le := append(append([]Label(nil), labels...), Label{Key: "le", Value: formatValue(row.upper)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(le), row.cumCount); err != nil {
+			return err
+		}
+	}
+	// The +Inf bucket is mandatory and must equal _count, even when the
+	// overflow bucket itself was empty.
+	if len(rows) == 0 || rows[len(rows)-1].upper != bucketUpper(overIdx) {
+		le := append(append([]Label(nil), labels...), Label{Key: "le", Value: "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels), formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), h.Count())
+	return err
+}
+
+// renderLabels formats a label set as {k="v",...}, empty string for none.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the text
+// format. Operator names carry σ, π, ⋈ and quoted values — UTF-8 itself is
+// legal in label values.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// SnapshotSeries is one series in a JSON snapshot.
+type SnapshotSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter sum or gauge value (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Count/Sum/Mean and the quantiles describe a histogram.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// SnapshotFamily is one metric family in a JSON snapshot.
+type SnapshotFamily struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Series []SnapshotSeries `json:"series"`
+}
+
+// Snapshot captures every family and series with histogram quantiles
+// extracted — the one-shot JSON dump behind ppquery -metrics-dump. A nil
+// registry snapshots to nil.
+func (r *Registry) Snapshot() []SnapshotFamily {
+	if r == nil {
+		return nil
+	}
+	var out []SnapshotFamily
+	idx := map[string]int{}
+	r.visit(func(f *family, labels []Label, s *series) {
+		i, ok := idx[f.name]
+		if !ok {
+			i = len(out)
+			idx[f.name] = i
+			out = append(out, SnapshotFamily{Name: f.name, Help: f.help, Type: f.kind.String()})
+		}
+		ss := SnapshotSeries{}
+		if len(labels) > 0 {
+			ss.Labels = make(map[string]string, len(labels))
+			for _, l := range labels {
+				ss.Labels[l.Key] = l.Value
+			}
+		}
+		switch f.kind {
+		case KindCounter:
+			v := s.ctr.Value()
+			ss.Value = &v
+		case KindGauge:
+			v := s.gauge.Value()
+			ss.Value = &v
+		case KindHistogram:
+			ss.Count = s.hist.Count()
+			ss.Sum = s.hist.Sum()
+			ss.Mean = s.hist.Mean()
+			ss.P50 = s.hist.Quantile(0.50)
+			ss.P90 = s.hist.Quantile(0.90)
+			ss.P99 = s.hist.Quantile(0.99)
+		}
+		out[i].Series = append(out[i].Series, ss)
+	})
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []SnapshotFamily{}
+	}
+	return enc.Encode(snap)
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Multi fans records out to several sinks — e.g. a text sink for -trace plus
+// a flight recorder. Nil sinks are skipped; zero sinks yields a NopSink.
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return NopSink{}
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+// Span implements Sink.
+func (m multiSink) Span(sp Span) {
+	for _, s := range m {
+		s.Span(sp)
+	}
+}
+
+// Event implements Sink.
+func (m multiSink) Event(ev Event) {
+	for _, s := range m {
+		s.Event(ev)
+	}
+}
+
+// Metric implements Sink.
+func (m multiSink) Metric(mt Metric) {
+	for _, s := range m {
+		s.Metric(mt)
+	}
+}
+
+// Record is one entry of the flight recorder's ring: exactly one of Span,
+// Event or Metric is set.
+type Record struct {
+	Span   *Span
+	Event  *Event
+	Metric *Metric
+}
+
+// writeTo renders the record as one trace line (the TextSink format).
+func (r Record) writeTo(w io.Writer) {
+	switch {
+	case r.Span != nil:
+		writeSpanLine(w, *r.Span)
+	case r.Event != nil:
+		writeEventLine(w, *r.Event)
+	case r.Metric != nil:
+		writeMetricLine(w, *r.Metric)
+	}
+}
+
+// FlightRecorder is a Sink that keeps the last N records in a fixed-size ring
+// buffer and dumps them when something goes wrong — so post-mortems do not
+// require a streaming sink to have been attached in advance. The default
+// trigger fires on a failed run span (kind "run" carrying an "error" attr)
+// and on a watchdog trip event; each trigger dumps the ring once to the
+// configured writer, newest record last, then clears it so consecutive
+// failures produce disjoint dumps.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []Record
+	next    int
+	full    bool
+	w       io.Writer
+	trigger func(Record) bool
+	dumps   int
+}
+
+// DefaultTrigger is the auto-dump predicate wired into NewFlightRecorder: a
+// failed query run or a tripped accuracy watchdog.
+func DefaultTrigger(r Record) bool {
+	if r.Span != nil && r.Span.Kind == KindRun {
+		for _, a := range r.Span.Attrs {
+			if a.Key == "error" {
+				return true
+			}
+		}
+	}
+	if r.Event != nil && r.Event.Name == "watchdog.trip" {
+		return true
+	}
+	return false
+}
+
+// NewFlightRecorder returns a recorder holding the last capacity records
+// (zero or negative selects 256) that auto-dumps to w on DefaultTrigger. A
+// nil w disables auto-dumping; the ring still records for manual Dump calls.
+func NewFlightRecorder(capacity int, w io.Writer) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{ring: make([]Record, capacity), w: w, trigger: DefaultTrigger}
+}
+
+// SetTrigger replaces the auto-dump predicate. A nil predicate disables
+// auto-dumping.
+func (f *FlightRecorder) SetTrigger(fn func(Record) bool) {
+	f.mu.Lock()
+	f.trigger = fn
+	f.mu.Unlock()
+}
+
+// Span implements Sink.
+func (f *FlightRecorder) Span(sp Span) { f.record(Record{Span: &sp}) }
+
+// Event implements Sink.
+func (f *FlightRecorder) Event(ev Event) { f.record(Record{Event: &ev}) }
+
+// Metric implements Sink.
+func (f *FlightRecorder) Metric(m Metric) { f.record(Record{Metric: &m}) }
+
+func (f *FlightRecorder) record(r Record) {
+	f.mu.Lock()
+	f.ring[f.next] = r
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+	fire := f.trigger != nil && f.w != nil && f.trigger(r)
+	if fire {
+		f.dumpLocked(f.w, describeTriggerLocked(r))
+	}
+	f.mu.Unlock()
+}
+
+// describeTriggerLocked renders what fired the auto-dump.
+func describeTriggerLocked(r Record) string {
+	switch {
+	case r.Span != nil:
+		return fmt.Sprintf("failed %s span %q", r.Span.Kind, r.Span.Name)
+	case r.Event != nil:
+		return fmt.Sprintf("event %s", r.Event.Name)
+	}
+	return "manual"
+}
+
+// Records returns the buffered records, oldest first.
+func (f *FlightRecorder) Records() []Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recordsLocked()
+}
+
+func (f *FlightRecorder) recordsLocked() []Record {
+	var out []Record
+	if f.full {
+		out = append(out, f.ring[f.next:]...)
+	}
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Dumps reports how many times the recorder auto-dumped.
+func (f *FlightRecorder) Dumps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// Dump writes the buffered records to w (oldest first) and clears the ring.
+func (f *FlightRecorder) Dump(w io.Writer) {
+	f.mu.Lock()
+	f.dumpLocked(w, "manual")
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) dumpLocked(w io.Writer, why string) {
+	recs := f.recordsLocked()
+	fmt.Fprintf(w, "--- flight recorder: %d buffered record(s), trigger: %s ---\n", len(recs), why)
+	for _, r := range recs {
+		r.writeTo(w)
+	}
+	fmt.Fprintf(w, "--- end flight recorder dump ---\n")
+	// Clear so back-to-back failures dump disjoint windows.
+	clear(f.ring)
+	f.next = 0
+	f.full = false
+	f.dumps++
+}

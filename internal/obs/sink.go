@@ -35,6 +35,26 @@ func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
 func (s *TextSink) Span(sp Span) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	writeSpanLine(s.w, sp)
+}
+
+// Event implements Sink.
+func (s *TextSink) Event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeEventLine(s.w, ev)
+}
+
+// Metric implements Sink.
+func (s *TextSink) Metric(m Metric) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeMetricLine(s.w, m)
+}
+
+// writeSpanLine renders one span as a trace line (shared by TextSink and the
+// flight recorder's dumps). Chunk spans are indented under their operator.
+func writeSpanLine(w io.Writer, sp Span) {
 	indent := ""
 	if sp.Kind == KindChunk {
 		indent = "  "
@@ -43,23 +63,17 @@ func (s *TextSink) Span(sp Span) {
 	if rps := sp.RowsPerSec(); rps > 0 {
 		thru = fmt.Sprintf(" thru=%.0frows/s", rps)
 	}
-	fmt.Fprintf(s.w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s%s\n",
+	fmt.Fprintf(w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s%s\n",
 		indent, sp.Kind, sp.Name, float64(sp.WallNS)/1e6, sp.CostVMS,
 		sp.RowsIn, sp.RowsOut, thru, renderAttrs(sp.Attrs))
 }
 
-// Event implements Sink.
-func (s *TextSink) Event(ev Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fmt.Fprintf(s.w, "[event] %s%s\n", ev.Name, renderAttrs(ev.Attrs))
+func writeEventLine(w io.Writer, ev Event) {
+	fmt.Fprintf(w, "[event] %s%s\n", ev.Name, renderAttrs(ev.Attrs))
 }
 
-// Metric implements Sink.
-func (s *TextSink) Metric(m Metric) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fmt.Fprintf(s.w, "[metric] %s=%g\n", m.Name, m.Value)
+func writeMetricLine(w io.Writer, m Metric) {
+	fmt.Fprintf(w, "[metric] %s=%g\n", m.Name, m.Value)
 }
 
 func renderAttrs(attrs []Attr) string {

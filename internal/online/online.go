@@ -34,6 +34,7 @@ import (
 	"probpred/internal/blob"
 	"probpred/internal/core"
 	"probpred/internal/mathx"
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
@@ -66,6 +67,10 @@ type Config struct {
 	// watchdog.probation, watchdog.close, watchdog.breach). Nil disables
 	// tracing.
 	Obs *obs.Tracer
+	// Metrics receives numeric telemetry: per-clause training and watchdog
+	// state-transition counters, plus the optimizer's search/drift metrics
+	// (the registry is forwarded to the embedded optimizer). Nil disables.
+	Metrics *metrics.Registry
 }
 
 // WatchdogConfig shapes the per-clause accuracy circuit breaker.
@@ -174,6 +179,8 @@ func New(cfg Config) (*System, error) {
 		clauses: map[string]*clauseState{},
 		rng:     mathx.NewRNG(cfg.Seed ^ 0x0a11e),
 	}
+	s.opt.SetMetrics(cfg.Metrics)
+	s.opt.SetObs(cfg.Obs)
 	for _, c := range cfg.Clauses {
 		p, err := query.Parse(c)
 		if err != nil {
@@ -258,9 +265,17 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	st.trained = true
 	st.sinceLastTrain = 0
 	s.Trainings++
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.Counter("online_trainings_total", "PP (re)trainings performed by the online loop.",
+			metrics.L("clause", key)).Inc()
+	}
 	if st.breaker == BreakerOpen {
 		st.breaker = BreakerProbation
 		s.cfg.Obs.Event("watchdog.probation", obs.Attr{Key: "clause", Value: key})
+		if reg := s.cfg.Metrics; reg != nil {
+			reg.Counter("watchdog_probations_total", "Retrained PPs re-entering service on probation.",
+				metrics.L("clause", key)).Inc()
+		}
 	}
 	return nil
 }
@@ -348,6 +363,10 @@ func (s *System) reportClause(key string, st *clauseState, pass bool) {
 		st.breaches++
 		s.cfg.Obs.Event("watchdog.breach", obs.Attr{Key: "clause", Value: key},
 			obs.Attr{Key: "consecutive", Value: strconv.Itoa(st.breaches)})
+		if reg := s.cfg.Metrics; reg != nil {
+			reg.Counter("watchdog_breaches_total", "Below-target accuracy reports while the breaker was closed.",
+				metrics.L("clause", key)).Inc()
+		}
 		if st.breaches >= s.cfg.Watchdog.K {
 			s.trip(key, st)
 		}
@@ -356,6 +375,10 @@ func (s *System) reportClause(key string, st *clauseState, pass bool) {
 			st.breaker = BreakerClosed
 			st.breaches = 0
 			s.cfg.Obs.Event("watchdog.close", obs.Attr{Key: "clause", Value: key})
+			if reg := s.cfg.Metrics; reg != nil {
+				reg.Counter("watchdog_closes_total", "Breakers closed after a passing probation report.",
+					metrics.L("clause", key)).Inc()
+			}
 		} else {
 			s.trip(key, st)
 		}
@@ -376,6 +399,10 @@ func (s *System) trip(key string, st *clauseState) {
 	s.cfg.Obs.Event("watchdog.trip", obs.Attr{Key: "clause", Value: key},
 		obs.Attr{Key: "trips_total", Value: strconv.Itoa(s.Trips)})
 	s.cfg.Obs.Metric("watchdog.trips", 1)
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.Counter("watchdog_trips_total", "Accuracy circuit-breaker trips.",
+			metrics.L("clause", key)).Inc()
+	}
 }
 
 // Breaker returns a clause's watchdog state (BreakerClosed for clauses this

@@ -89,6 +89,17 @@ func (l *compiledLeaf) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 		pass[i] = sc[j] >= l.threshold
 		cost[i] += l.cost
 	}
+	if l.scoreHist != nil {
+		passed := 0
+		for _, v := range sc {
+			l.scoreHist.Observe(v)
+			if v >= l.threshold {
+				passed++
+			}
+		}
+		l.tested.Add(float64(n))
+		l.passed.Add(float64(passed))
+	}
 }
 
 func (c *compiledConj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {

@@ -6,6 +6,7 @@ import (
 
 	"probpred/internal/blob"
 	"probpred/internal/core"
+	"probpred/internal/metrics"
 )
 
 // Expr is a logical expression over PPs: a leaf, a conjunction or a
@@ -97,10 +98,24 @@ type compiledLeaf struct {
 	pp        *core.PP
 	threshold float64
 	cost      float64
+	// Opt-in per-clause instrumentation, resolved once by Compiled.Instrument
+	// (see metrics.go). Nil on uninstrumented filters: both scoring paths
+	// guard on scoreHist alone, so the hot path pays one nil check per leaf.
+	scoreHist      *metrics.Histogram
+	tested, passed *metrics.Counter
 }
 
 func (l *compiledLeaf) test(b blob.Blob) (bool, float64) {
-	return l.pp.Score(b) >= l.threshold, l.cost
+	score := l.pp.Score(b)
+	ok := score >= l.threshold
+	if l.scoreHist != nil {
+		l.scoreHist.Observe(score)
+		l.tested.Inc()
+		if ok {
+			l.passed.Inc()
+		}
+	}
+	return ok, l.cost
 }
 
 type compiledConj struct{ kids []compiledNode }

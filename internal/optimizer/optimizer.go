@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/query"
 )
@@ -125,6 +126,10 @@ type Optimizer struct {
 	corpus *Corpus
 	// dependent flags clause pairs whose PPs proved dependent at runtime.
 	dependent map[string]bool
+	// metrics (optional, SetMetrics) records search and drift telemetry.
+	metrics *metrics.Registry
+	// tr (optional, SetObs) receives ObserveRuntime misestimation events.
+	tr *obs.Tracer
 }
 
 // New returns an optimizer over the given corpus.
@@ -216,6 +221,7 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 		WallNS:      time.Since(start).Nanoseconds(),
 	}
 	o.emitSearch(opts.Obs, pred, dec)
+	o.emitSearchMetrics(dec)
 	return dec, nil
 }
 
@@ -266,21 +272,46 @@ const (
 )
 
 // ObserveRuntime feeds back the empirically observed reduction of an
-// executed decision. When the observation deviates dramatically from the
-// estimate, every clause pair in the decision is flagged as dependent so
-// future optimizations avoid combining them (A.5's runtime fix).
+// executed decision. Every injected observation updates the
+// estimated-vs-observed reduction gauges; an observation outside the
+// dependence tolerance additionally counts as a misestimation (counter plus
+// obs event), and — when the decision had at least two PP leaves — flags
+// every clause pair as dependent so future optimizations avoid combining
+// them (A.5's runtime fix). Single-leaf misestimations cannot be blamed on
+// dependence, but they are exactly the drift the telemetry must surface.
 func (o *Optimizer) ObserveRuntime(dec *Decision, observedReduction float64) {
-	if dec == nil || !dec.Inject || len(dec.leaves) < 2 {
+	if dec == nil || !dec.Inject {
 		return
+	}
+	if reg := o.metrics; reg != nil {
+		reg.Counter("optimizer_observations_total", "Runtime reduction observations fed back to the optimizer.").Inc()
+		reg.Gauge("optimizer_estimated_reduction", "Estimated data reduction of the most recently observed decision.").Set(dec.Reduction)
+		reg.Gauge("optimizer_observed_reduction", "Observed data reduction of the most recently observed decision.").Set(observedReduction)
+		reg.Histogram("optimizer_reduction_error", "Absolute estimated-minus-observed reduction error per observation.").Observe(math.Abs(observedReduction - dec.Reduction))
 	}
 	tolerance := math.Max(dependenceAbsTolerance, dependenceRelTolerance*dec.Reduction)
 	if math.Abs(observedReduction-dec.Reduction) <= tolerance {
+		return
+	}
+	if reg := o.metrics; reg != nil {
+		reg.Counter("optimizer_misestimations_total", "Observations whose reduction fell outside the dependence tolerance.").Inc()
+	}
+	if o.tr.Enabled() {
+		o.tr.Event("optimizer.misestimation",
+			obs.Attr{Key: "expr", Value: dec.Expr},
+			obs.Attr{Key: "estimated", Value: strconv.FormatFloat(dec.Reduction, 'f', 3, 64)},
+			obs.Attr{Key: "observed", Value: strconv.FormatFloat(observedReduction, 'f', 3, 64)})
+	}
+	if len(dec.leaves) < 2 {
 		return
 	}
 	for i := 0; i < len(dec.leaves); i++ {
 		for j := i + 1; j < len(dec.leaves); j++ {
 			o.dependent[pairKey(dec.leaves[i], dec.leaves[j])] = true
 		}
+	}
+	if reg := o.metrics; reg != nil {
+		reg.Gauge("optimizer_dependent_pairs", "Clause pairs currently flagged as dependent.").Set(float64(len(o.dependent)))
 	}
 }
 

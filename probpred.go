@@ -45,6 +45,7 @@ package probpred
 
 import (
 	"io"
+	"net/http"
 
 	"probpred/internal/blob"
 	"probpred/internal/core"
@@ -52,6 +53,7 @@ import (
 	"probpred/internal/engine"
 	"probpred/internal/fault"
 	"probpred/internal/mathx"
+	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
@@ -183,6 +185,50 @@ func NewJSONTraceSink(w io.Writer) TraceSink { return obs.NewJSONSink(w) }
 
 // NewTraceCollector returns an in-memory collecting sink.
 func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// MultiTraceSink fans every trace record out to all the given sinks (nils
+// are skipped) — e.g. a live text stream plus a flight recorder.
+func MultiTraceSink(sinks ...TraceSink) TraceSink { return obs.Multi(sinks...) }
+
+// FlightRecorder is a fixed-size ring-buffer TraceSink that keeps the most
+// recent records and dumps them automatically when a failure trigger fires
+// (by default: a run span carrying an error, or a watchdog trip event).
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder returns a flight recorder buffering the most recent
+// capacity records (0 selects 256) and auto-dumping to w on trigger.
+func NewFlightRecorder(capacity int, w io.Writer) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity, w)
+}
+
+// Numeric metrics: a concurrency-safe registry of labeled counters, gauges
+// and streaming histograms, attachable to the engine (ExecConfig.Metrics),
+// the optimizer (Optimizer.SetMetrics), training (TrainConfig.Metrics), and
+// the fault injector (FaultInjector.SetMetrics). A nil registry disables
+// every instrument at one pointer check — the same contract as the nil
+// Tracer.
+type (
+	// MetricsRegistry holds all registered instruments.
+	MetricsRegistry = metrics.Registry
+	// MetricLabel is one name=value instrument label.
+	MetricLabel = metrics.Label
+	// MetricsSnapshot is one instrument family in a point-in-time snapshot.
+	MetricsSnapshot = metrics.SnapshotFamily
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricsHandler serves a registry as Prometheus text exposition format.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return metrics.Handler(r) }
+
+// NewMetricsMux returns an http.ServeMux wiring /metrics, /healthz and the
+// /debug/pprof/ endpoints — the shared diagnostics mux the CLIs serve.
+func NewMetricsMux(r *MetricsRegistry) *http.ServeMux { return metrics.NewMux(r) }
+
+// AnalyzeOptions shapes EXPLAIN ANALYZE rendering (ExecResult.Analyze):
+// per-operator estimated cardinalities and the misestimation tolerance.
+type AnalyzeOptions = engine.AnalyzeOptions
 
 // NewFaultInjector returns an injector with no faults configured.
 func NewFaultInjector(seed uint64) *FaultInjector { return fault.NewInjector(seed) }
