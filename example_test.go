@@ -66,9 +66,12 @@ func ExampleOptimizer_Optimize() {
 	}
 	fmt.Println("injected:", dec.Inject)
 	fmt.Println("expression:", dec.Expr)
+	// The optimizer canonicalizes the predicate before searching (sorted
+	// kids), so the spelling of the input never changes the chosen plan —
+	// here the two orderings cost the same and the canonical one wins.
 	// Output:
 	// injected: true
-	// expression: (PP[t=SUV] | PP[t=van]) & PP[c=red]
+	// expression: PP[c=red] & (PP[t=SUV] | PP[t=van])
 }
 
 // ExampleInferClauses shows batch workload analysis: which simple clauses a

@@ -28,6 +28,7 @@ var Experiments = map[string]Runner{
 	"ablation-model":  AblationModelSelection,
 	"faults":          Faults,
 	"hotpath":         Hotpath,
+	"serve":           Serve,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -37,7 +38,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
-	"faults", "hotpath",
+	"faults", "hotpath", "serve",
 }
 
 // Run executes one experiment by id.

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"probpred/internal/data"
+	"probpred/internal/engine"
+	"probpred/internal/query"
+	"probpred/internal/serve"
+	"probpred/internal/udf"
+)
+
+// Serve replays the TRAF20 workload through internal/serve twice — once with
+// the PP score cache disabled, once enabled — and compares evaluation counts
+// and outputs. It is not a paper experiment: it validates and tracks the
+// serving layer's contract (DESIGN.md "Serving & caching") and backs
+// BENCH_serve.json, which CI archives and gates on (eval_ratio >= 2,
+// outputs_identical). The disabled variant routes every lookup through the
+// same cache plumbing but stores nothing, so its miss counter is an exact
+// count of PP score evaluations an uncached server performs.
+
+// ServeVariant is one replay's counters (cached or uncached score cache).
+type ServeVariant struct {
+	Mode     string  `json:"mode"`
+	WallMS   float64 `json:"wall_ms"`
+	Sessions uint64  `json:"sessions"`
+	// PlanHits / PlanMisses count plan-cache outcomes; hits skipped the
+	// optimizer search.
+	PlanHits   uint64 `json:"plan_hits"`
+	PlanMisses uint64 `json:"plan_misses"`
+	// ScoreEvals is the number of per-(PP, blob) score computations actually
+	// performed (= score-cache misses; with the cache disabled, every lookup).
+	ScoreEvals uint64 `json:"score_evals"`
+	// ScoreHits counts evaluations avoided by the score cache.
+	ScoreHits    uint64  `json:"score_hits"`
+	ScoreHitRate float64 `json:"score_hit_rate"`
+	ScoreEntries int     `json:"score_entries"`
+}
+
+// ServeDoc is the machine-readable report written to BENCH_serve.json.
+type ServeDoc struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	Quick       bool   `json:"quick"`
+	// Queries is the distinct query count (TRAF20); Sessions = Queries×Rounds.
+	Queries     int     `json:"queries"`
+	Rounds      int     `json:"rounds"`
+	Sessions    int     `json:"sessions"`
+	Concurrency int     `json:"concurrency"`
+	Workers     int     `json:"workers"`
+	Blobs       int     `json:"blobs"`
+	Accuracy    float64 `json:"accuracy"`
+
+	Uncached ServeVariant `json:"uncached"`
+	Cached   ServeVariant `json:"cached"`
+
+	// EvalRatio is uncached score evaluations over cached ones — how many
+	// times fewer PP scores the shared cache computes on this workload. CI
+	// requires >= 2.
+	EvalRatio float64 `json:"eval_ratio"`
+	// OutputsIdentical reports byte-identical rendered results (rows, row
+	// order, virtual costs) across the two variants. CI requires true.
+	OutputsIdentical bool `json:"outputs_identical"`
+}
+
+// Write serders the document as indented JSON.
+func (d *ServeDoc) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// trafficBuilder adapts the traffic harness to serve.QueryBuilder: the UDF
+// pipeline downstream of the PP is the detector plus one UDF per referenced
+// column, exactly as PPPlan assembles it.
+type trafficBuilder struct{ h *TrafficHarness }
+
+func (b trafficBuilder) UDFCost(pred query.Pred) (float64, error) {
+	procs, err := udf.TrafficPipeline(pred, 0, b.h.seed)
+	if err != nil {
+		return 0, err
+	}
+	return udf.PipelineCost(procs), nil
+}
+
+func (b trafficBuilder) Build(pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
+	procs, err := udf.TrafficPipeline(pred, 0, b.h.seed)
+	if err != nil {
+		return engine.Plan{}, err
+	}
+	ops := []engine.Operator{&engine.Scan{Blobs: b.h.TestBlobs}}
+	if filter != nil {
+		ops = append(ops, &engine.PPFilter{F: filter})
+	}
+	for _, p := range procs {
+		ops = append(ops, &engine.Process{P: p})
+	}
+	ops = append(ops, &engine.Select{Pred: pred})
+	return engine.Plan{Ops: ops}, nil
+}
+
+// serveWorkload repeats TRAF20 for rounds rounds with distinct session ids.
+// Repetition is the realistic part: production queries recur, and recurrence
+// is what the plan cache converts into hits.
+func serveWorkload(rounds int) []serve.WorkloadQuery {
+	var out []serve.WorkloadQuery
+	for r := 0; r < rounds; r++ {
+		for _, q := range TRAF20 {
+			out = append(out, serve.WorkloadQuery{
+				ID:   fmt.Sprintf("%s.r%d", q.ID, r+1),
+				Pred: q.Pred,
+			})
+		}
+	}
+	return out
+}
+
+// renderServeResponses flattens responses to a canonical text form — session
+// id, row count, virtual cluster time, output blob ids — the byte-comparison
+// primitive behind OutputsIdentical.
+func renderServeResponses(resps []*serve.Response) string {
+	var sb strings.Builder
+	for _, r := range resps {
+		if r == nil {
+			sb.WriteString("<nil>\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "%s rows=%d cluster=%.6f ids=", r.ID, len(r.Result.Rows), r.Result.ClusterTime)
+		for i, row := range r.Result.Rows {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", row.Blob.ID)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RunServe builds the traffic harness, replays the workload against an
+// uncached and a cached server, and returns the JSON document plus a rendered
+// report.
+func RunServe(cfg Config) (*ServeDoc, *Report, error) {
+	const (
+		accuracy    = 0.95
+		concurrency = 4
+		workers     = 4
+	)
+	rounds := cfg.scale(3, 2)
+	h, err := NewTrafficHarness(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	workload := serveWorkload(rounds)
+
+	runVariant := func(mode string, disable bool) (ServeVariant, string, error) {
+		srv, err := serve.New(serve.Config{
+			Optimizer:         h.Opt,
+			Builder:           trafficBuilder{h},
+			Accuracy:          accuracy,
+			Domains:           data.TrafficDomains(),
+			MaxConcurrent:     concurrency,
+			Exec:              engine.Config{Workers: workers},
+			DisableScoreCache: disable,
+			Metrics:           cfg.Metrics,
+			Obs:               cfg.Obs,
+		})
+		if err != nil {
+			return ServeVariant{}, "", err
+		}
+		start := time.Now()
+		resps, err := srv.Replay(workload, concurrency)
+		if err != nil {
+			return ServeVariant{}, "", fmt.Errorf("bench: serve replay (%s): %w", mode, err)
+		}
+		st := srv.Stats()
+		v := ServeVariant{
+			Mode:         mode,
+			WallMS:       float64(time.Since(start).Microseconds()) / 1000,
+			Sessions:     st.Sessions,
+			PlanHits:     st.PlanHits,
+			PlanMisses:   st.PlanMisses,
+			ScoreEvals:   st.ScoreMisses,
+			ScoreHits:    st.ScoreHits,
+			ScoreEntries: st.ScoreEntries,
+		}
+		if lookups := st.ScoreHits + st.ScoreMisses; lookups > 0 {
+			v.ScoreHitRate = float64(st.ScoreHits) / float64(lookups)
+		}
+		return v, renderServeResponses(resps), nil
+	}
+
+	uncached, renderU, err := runVariant("uncached", true)
+	if err != nil {
+		return nil, nil, err
+	}
+	cached, renderC, err := runVariant("cached", false)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	doc := &ServeDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Seed:        cfg.Seed,
+		Quick:       cfg.Quick,
+		Queries:     len(TRAF20),
+		Rounds:      rounds,
+		Sessions:    len(workload),
+		Concurrency: concurrency,
+		Workers:     workers,
+		Blobs:       len(h.TestBlobs),
+		Accuracy:    accuracy,
+		Uncached:    uncached,
+		Cached:      cached,
+
+		OutputsIdentical: renderU == renderC,
+	}
+	if cached.ScoreEvals > 0 {
+		doc.EvalRatio = float64(uncached.ScoreEvals) / float64(cached.ScoreEvals)
+	}
+
+	rep := &Report{ID: "serve", Title: fmt.Sprintf(
+		"Concurrent serving: %d sessions (%d queries x %d rounds), score cache off vs on", len(workload), len(TRAF20), rounds)}
+	tb := &table{header: []string{"mode", "wall ms", "sessions", "plan hit/miss", "score evals", "score hits", "hit rate"}}
+	for _, v := range []ServeVariant{uncached, cached} {
+		tb.add(v.Mode, f1(v.WallMS), fmt.Sprintf("%d", v.Sessions),
+			fmt.Sprintf("%d/%d", v.PlanHits, v.PlanMisses),
+			fmt.Sprintf("%d", v.ScoreEvals), fmt.Sprintf("%d", v.ScoreHits),
+			f3(v.ScoreHitRate))
+	}
+	rep.Lines = tb.render()
+	rep.Lines = append(rep.Lines, "",
+		fmt.Sprintf("eval ratio (uncached/cached): %.2fx   outputs identical: %v",
+			doc.EvalRatio, doc.OutputsIdentical))
+	rep.metric("eval_ratio", doc.EvalRatio)
+	rep.metric("outputs_identical", b2f(doc.OutputsIdentical))
+	rep.metric("plan_hit_rate", float64(cached.PlanHits)/float64(cached.PlanHits+cached.PlanMisses))
+	rep.metric("score_hit_rate", cached.ScoreHitRate)
+	return doc, rep, nil
+}
+
+// Serve is the registry wrapper: it runs the replay comparison and returns
+// just the report (cmd/ppbench -serve also writes the JSON document).
+func Serve(cfg Config) (*Report, error) {
+	_, rep, err := RunServe(cfg)
+	return rep, err
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

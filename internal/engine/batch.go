@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"probpred/internal/blob"
 )
@@ -19,6 +20,33 @@ type BatchBlobFilter interface {
 	// one length.
 	TestBatch(blobs []blob.Blob, pass []bool, cost []float64)
 }
+
+// CachedBlobFilter is the optional cache-aware extension of BlobFilter for
+// filters backed by a cross-query score cache (serving mode): Test with
+// per-run cache accounting. hits/misses must be incremented atomically, once
+// per score lookup served from / missing the cache. The counters belong to
+// ONE Run invocation, never to the filter itself: the same filter object is
+// shared by concurrent sessions, and accumulating counts on the shared
+// object (or diffing shared totals around an operator) would interleave
+// other runs' lookups into this run's Result. A filter with no cache
+// attached must leave both counters untouched.
+type CachedBlobFilter interface {
+	BlobFilter
+	TestCached(b blob.Blob, hits, misses *atomic.Uint64) (bool, float64)
+}
+
+// CachedBatchBlobFilter is the batch form of CachedBlobFilter, with the same
+// per-run counter contract. Pass/cost semantics match TestBatch exactly.
+type CachedBatchBlobFilter interface {
+	BatchBlobFilter
+	TestBatchCached(blobs []blob.Blob, pass []bool, cost []float64, hits, misses *atomic.Uint64)
+}
+
+// cacheTally is one PPFilter execution's score-cache activity. It is created
+// per operator execution inside Run and shared by that execution's parallel
+// chunks, hence atomics — the filter increments the counters from whichever
+// worker goroutine is scoring.
+type cacheTally struct{ hits, misses atomic.Uint64 }
 
 // filterBatch is the recycled buffer set of one PPFilter batch: the gathered
 // blobs plus the per-blob verdict and cost outputs.
@@ -55,22 +83,37 @@ func putFilterBatch(fb *filterBatch) {
 // summed per row in input order, so Stats accounting is bit-identical to the
 // scalar loop (which also adds one per-row cost at a time). The output slice
 // is preallocated at input capacity — filters only drop rows.
-func (p *PPFilter) run(in []Row) ([]Row, float64) {
-	out := make([]Row, 0, len(in))
-	total := 0.0
+//
+// ct receives the filter's score-cache hit/miss counts when both the caller
+// supplies a tally and the filter implements the cache-aware interfaces;
+// results and costs are identical either way.
+func (p *PPFilter) run(in []Row, ct *cacheTally) ([]Row, float64) {
+	if cbf, ok := p.F.(CachedBatchBlobFilter); ok && ct != nil {
+		fb := getFilterBatch(len(in))
+		for i, r := range in {
+			fb.blobs[i] = r.Blob
+		}
+		cbf.TestBatchCached(fb.blobs, fb.pass, fb.cost, &ct.hits, &ct.misses)
+		return collectBatch(in, fb)
+	}
 	if bf, ok := p.F.(BatchBlobFilter); ok {
 		fb := getFilterBatch(len(in))
 		for i, r := range in {
 			fb.blobs[i] = r.Blob
 		}
 		bf.TestBatch(fb.blobs, fb.pass, fb.cost)
-		for i, r := range in {
-			total += fb.cost[i]
-			if fb.pass[i] {
+		return collectBatch(in, fb)
+	}
+	out := make([]Row, 0, len(in))
+	total := 0.0
+	if cf, ok := p.F.(CachedBlobFilter); ok && ct != nil {
+		for _, r := range in {
+			pass, cost := cf.TestCached(r.Blob, &ct.hits, &ct.misses)
+			total += cost
+			if pass {
 				out = append(out, r)
 			}
 		}
-		putFilterBatch(fb)
 		return out, total
 	}
 	for _, r := range in {
@@ -80,5 +123,20 @@ func (p *PPFilter) run(in []Row) ([]Row, float64) {
 			out = append(out, r)
 		}
 	}
+	return out, total
+}
+
+// collectBatch sums costs and gathers passing rows in input order, then
+// recycles the batch buffers.
+func collectBatch(in []Row, fb *filterBatch) ([]Row, float64) {
+	out := make([]Row, 0, len(in))
+	total := 0.0
+	for i, r := range in {
+		total += fb.cost[i]
+		if fb.pass[i] {
+			out = append(out, r)
+		}
+	}
+	putFilterBatch(fb)
 	return out, total
 }

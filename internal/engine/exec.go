@@ -109,6 +109,12 @@ type OpStats struct {
 	// Retries / Timeouts count this operator's retried transient failures
 	// and row-timeout kills.
 	Retries, Timeouts int
+	// CacheHits / CacheMisses count this operator's PP score-cache lookups
+	// during THIS run only. The counters are tallied per Run invocation, not
+	// on the (possibly shared) filter object, so concurrent sessions
+	// executing the same compiled plan each see exactly their own lookups.
+	// Both stay zero for filters without an attached score cache.
+	CacheHits, CacheMisses uint64
 }
 
 // Result is the outcome of running a plan.
@@ -157,8 +163,9 @@ func Run(p Plan, cfg Config) (*Result, error) {
 		before := st.OpCost[op.Name()]
 		opSpan := cfg.Obs.BeginChild(&runSpan, obs.KindOperator, op.Name())
 		var tally retryTally
+		var ctally cacheTally
 		opStart := time.Now()
-		out, err := runOp(op, rows, st, cfg, &opSpan, &tally)
+		out, err := runOp(op, rows, st, cfg, &opSpan, &tally, &ctally)
 		wallNS := time.Since(opStart).Nanoseconds()
 		cost := st.OpCost[op.Name()] - before
 		opSpan.CostVMS = cost
@@ -170,17 +177,18 @@ func Run(p Plan, cfg Config) (*Result, error) {
 			runSpan.CostVMS = st.Cluster
 			runSpan.SetAttr("error", err.Error())
 			cfg.Obs.End(&runSpan)
-			emitOpMetrics(cfg.Metrics, op, len(rows), 0, cost, wallNS, tally)
+			emitOpMetrics(cfg.Metrics, op, len(rows), 0, cost, wallNS, tally, &ctally)
 			emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true)
 			return nil, &OpError{Stage: len(stageCosts) - 1, Op: op.Name(), Err: err}
 		}
 		cfg.Obs.End(&opSpan)
-		emitOpMetrics(cfg.Metrics, op, len(rows), len(out), cost, wallNS, tally)
+		emitOpMetrics(cfg.Metrics, op, len(rows), len(out), cost, wallNS, tally, &ctally)
 		_, isPP := op.(*PPFilter)
 		perOp = append(perOp, OpStats{
 			Name: op.Name(), RowsIn: len(rows), RowsOut: len(out), Cost: cost,
 			WallNS: wallNS, StageBoundary: op.StageBoundary(), PPFilter: isPP,
 			Retries: tally.retries, Timeouts: tally.timeouts,
+			CacheHits: ctally.hits.Load(), CacheMisses: ctally.misses.Load(),
 		})
 		stageCosts[len(stageCosts)-1] += cost
 		st.RowsOut[op.Name()] += len(out)

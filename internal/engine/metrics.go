@@ -41,7 +41,7 @@ func emitRunMetrics(reg *metrics.Registry, res *Result, wallNS int64, failed boo
 }
 
 // emitOpMetrics records one operator execution within a run.
-func emitOpMetrics(reg *metrics.Registry, op Operator, rowsIn, rowsOut int, cost float64, wallNS int64, tally retryTally) {
+func emitOpMetrics(reg *metrics.Registry, op Operator, rowsIn, rowsOut int, cost float64, wallNS int64, tally retryTally, ctally *cacheTally) {
 	if reg == nil {
 		return
 	}
@@ -61,5 +61,11 @@ func emitOpMetrics(reg *metrics.Registry, op Operator, rowsIn, rowsOut int, cost
 		fLabel := metrics.L("filter", name)
 		reg.Counter("engine_ppfilter_tested_total", "Blobs tested by injected PP filters.", fLabel).Add(float64(rowsIn))
 		reg.Counter("engine_ppfilter_passed_total", "Blobs passing injected PP filters.", fLabel).Add(float64(rowsOut))
+		if hits := ctally.hits.Load(); hits > 0 {
+			reg.Counter("engine_ppfilter_cache_hits_total", "PP score lookups served from the score cache.", fLabel).Add(float64(hits))
+		}
+		if misses := ctally.misses.Load(); misses > 0 {
+			reg.Counter("engine_ppfilter_cache_misses_total", "PP score lookups that missed the score cache.", fLabel).Add(float64(misses))
+		}
 	}
 }

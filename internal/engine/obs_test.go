@@ -70,7 +70,7 @@ func TestPPFilterParallelChargesAllChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	parSt := newStats()
-	if _, err := f.execParallel(mkRows(), parSt, 4, nil, nil); err != nil {
+	if _, err := f.execParallel(mkRows(), parSt, 4, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if seqSt.Cluster != parSt.Cluster || seqSt.Cluster != 100 {

@@ -134,7 +134,8 @@ func (p *PPFilter) StageBoundary() bool { return false }
 // filter implements BatchBlobFilter (see run); results, row order and cost
 // accounting are identical to the per-row path.
 func (p *PPFilter) Exec(in []Row, st *Stats) ([]Row, error) {
-	out, total := p.run(in)
+	var ct cacheTally // standalone Exec has no run-level tally; counts are dropped
+	out, total := p.run(in, &ct)
 	st.charge(p.Name(), total)
 	return out, nil
 }

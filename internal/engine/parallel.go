@@ -22,19 +22,28 @@ import (
 // operators when cfg.Workers > 1 and threading the retry policy into
 // processor execution. parent is the operator's span, under which the
 // parallel path emits per-chunk child spans; tally accumulates the
-// operator's retry/timeout counts for the metrics layer.
-func runOp(op Operator, in []Row, st *Stats, cfg Config, parent *obs.Span, tally *retryTally) ([]Row, error) {
+// operator's retry/timeout counts and ctally the operator's score-cache
+// hits/misses for the metrics layer. Both tallies belong to this single
+// operator execution — PPFilter instances (and the compiled filters behind
+// them) may be shared by concurrent Runs, so per-run accounting must never
+// live on the operator itself.
+func runOp(op Operator, in []Row, st *Stats, cfg Config, parent *obs.Span, tally *retryTally, ctally *cacheTally) ([]Row, error) {
 	workers := cfg.Workers
 	if workers > 1 && len(in) >= 2*workers {
 		switch o := op.(type) {
 		case *Process:
 			return o.execParallel(in, st, workers, cfg.Retry, cfg.Obs, parent, tally)
 		case *PPFilter:
-			return o.execParallel(in, st, workers, cfg.Obs, parent)
+			return o.execParallel(in, st, workers, cfg.Obs, parent, ctally)
 		}
 	}
-	if p, ok := op.(*Process); ok {
-		return p.exec(in, st, cfg.Retry, tally)
+	switch o := op.(type) {
+	case *Process:
+		return o.exec(in, st, cfg.Retry, tally)
+	case *PPFilter:
+		out, total := o.run(in, ctally)
+		st.charge(o.Name(), total)
+		return out, nil
 	}
 	return op.Exec(in, st)
 }
@@ -175,7 +184,7 @@ func (p *Process) execParallel(in []Row, st *Stats, workers int, pol RetryPolicy
 // call per chunk over sync.Pool-recycled buffers, with a per-row fallback for
 // plain BlobFilters), so per-row results and per-chunk cost sums are
 // identical across worker counts.
-func (p *PPFilter) execParallel(in []Row, st *Stats, workers int, tr *obs.Tracer, parent *obs.Span) ([]Row, error) {
+func (p *PPFilter) execParallel(in []Row, st *Stats, workers int, tr *obs.Tracer, parent *obs.Span, ctally *cacheTally) ([]Row, error) {
 	bounds := chunkBounds(len(in), workers)
 	results := make([][]Row, len(bounds))
 	costs := make([]float64, len(bounds))
@@ -187,7 +196,8 @@ func (p *PPFilter) execParallel(in []Row, st *Stats, workers int, tr *obs.Tracer
 			defer wg.Done()
 			ct.begin(ci)
 			defer ct.end(ci)
-			results[ci], costs[ci] = p.run(in[lo:hi])
+			// ctally's counters are atomic, so chunks share it directly.
+			results[ci], costs[ci] = p.run(in[lo:hi], ctally)
 		}(ci, b[0], b[1])
 	}
 	wg.Wait()

@@ -37,6 +37,9 @@ const (
 	KindOptimize = "optimize"
 	// KindTrain is one PP (re)training.
 	KindTrain = "train"
+	// KindSession is one served query session (serve.Server.Do): plan-cache
+	// resolution plus execution, with the run span parented under it.
+	KindSession = "session"
 )
 
 // Attr is one key/value annotation on a span or event.

@@ -23,11 +23,13 @@ import (
 
 // batchScratch holds the recycled buffers of one TestBatch call: a free-list
 // of index slices for the per-node active lists plus the gather buffers the
-// leaves score through. One scratch is used by one goroutine at a time.
+// leaves score through. missScores is the cached path's scatter buffer for
+// freshly scored cache misses. One scratch is used by one goroutine at a time.
 type batchScratch struct {
-	idxFree [][]int
-	blobs   []blob.Blob
-	scores  []float64
+	idxFree    [][]int
+	blobs      []blob.Blob
+	scores     []float64
+	missScores []float64
 }
 
 var batchScratchPool sync.Pool
@@ -62,6 +64,11 @@ func (s *batchScratch) putIdx(sl []int) { s.idxFree = append(s.idxFree, sl) }
 // TestBatch implements engine.BatchBlobFilter: pass[i] and cost[i] are
 // exactly what Test(blobs[i]) would return, including short-circuit cost.
 func (c *Compiled) TestBatch(blobs []blob.Blob, pass []bool, cost []float64) {
+	c.testBatchTally(blobs, pass, cost, nil)
+}
+
+// testBatchTally is TestBatch with optional per-run cache accounting.
+func (c *Compiled) testBatchTally(blobs []blob.Blob, pass []bool, cost []float64, ct *cacheTally) {
 	n := len(blobs)
 	clear(cost[:n])
 	s := getBatchScratch()
@@ -69,22 +76,52 @@ func (c *Compiled) TestBatch(blobs []blob.Blob, pass []bool, cost []float64) {
 	for i := 0; i < n; i++ {
 		act = append(act, i)
 	}
-	c.node.testBatch(blobs, act, pass, cost, s)
+	c.node.testBatch(blobs, act, pass, cost, s, ct)
 	s.putIdx(act)
 	putBatchScratch(s)
 }
 
-func (l *compiledLeaf) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {
+func (l *compiledLeaf) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch, ct *cacheTally) {
 	n := len(active)
 	if cap(s.blobs) < n {
 		s.blobs = make([]blob.Blob, n)
 		s.scores = make([]float64, n)
+		s.missScores = make([]float64, n)
 	}
 	bs, sc := s.blobs[:n], s.scores[:n]
-	for j, i := range active {
-		bs[j] = blobs[i]
+	if l.cache != nil {
+		// Resolve what the cache already knows, then batch-score only the
+		// misses through the same ScoreBatch kernel the uncached path uses
+		// (bit-identical to per-row Score), and scatter them back so sc[j]
+		// ends up identical to the uncached fill for every active row.
+		missIdx := s.getIdx(n)
+		for j, i := range active {
+			if v, ok := l.cache.Get(l.pp, blobs[i].ID); ok {
+				sc[j] = v
+			} else {
+				missIdx = append(missIdx, j)
+			}
+		}
+		if nm := len(missIdx); nm > 0 {
+			mb, ms := bs[:nm], s.missScores[:nm]
+			for k, j := range missIdx {
+				mb[k] = blobs[active[j]]
+			}
+			l.pp.ScoreBatch(mb, ms)
+			for k, j := range missIdx {
+				sc[j] = ms[k]
+				l.cache.Put(l.pp, blobs[active[j]].ID, ms[k])
+			}
+		}
+		ct.hit(uint64(n - len(missIdx)))
+		ct.miss(uint64(len(missIdx)))
+		s.putIdx(missIdx)
+	} else {
+		for j, i := range active {
+			bs[j] = blobs[i]
+		}
+		l.pp.ScoreBatch(bs, sc)
 	}
-	l.pp.ScoreBatch(bs, sc)
 	for j, i := range active {
 		pass[i] = sc[j] >= l.threshold
 		cost[i] += l.cost
@@ -102,7 +139,7 @@ func (l *compiledLeaf) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 	}
 }
 
-func (c *compiledConj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {
+func (c *compiledConj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch, ct *cacheTally) {
 	if len(c.kids) == 0 {
 		for _, i := range active {
 			pass[i] = true
@@ -111,7 +148,7 @@ func (c *compiledConj) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 	}
 	act := append(s.getIdx(len(active)), active...)
 	for _, k := range c.kids {
-		k.testBatch(blobs, act, pass, cost, s)
+		k.testBatch(blobs, act, pass, cost, s, ct)
 		// Rows the kid failed are decided (pass[i] = false stays); the rest
 		// continue to the next kid, mirroring the scalar short-circuit.
 		keep := act[:0]
@@ -128,7 +165,7 @@ func (c *compiledConj) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 	s.putIdx(act)
 }
 
-func (d *compiledDisj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch) {
+func (d *compiledDisj) testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch, ct *cacheTally) {
 	if len(d.kids) == 0 {
 		for _, i := range active {
 			pass[i] = false
@@ -137,7 +174,7 @@ func (d *compiledDisj) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 	}
 	act := append(s.getIdx(len(active)), active...)
 	for _, k := range d.kids {
-		k.testBatch(blobs, act, pass, cost, s)
+		k.testBatch(blobs, act, pass, cost, s, ct)
 		// Rows the kid passed are decided (pass[i] = true stays); only the
 		// still-failing rows try the next branch.
 		keep := act[:0]
@@ -154,7 +191,7 @@ func (d *compiledDisj) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 	s.putIdx(act)
 }
 
-func (dropAllNode) testBatch(_ []blob.Blob, active []int, pass []bool, _ []float64, _ *batchScratch) {
+func (dropAllNode) testBatch(_ []blob.Blob, active []int, pass []bool, _ []float64, _ *batchScratch, _ *cacheTally) {
 	for _, i := range active {
 		pass[i] = false
 	}

@@ -1,0 +1,132 @@
+package optimizer
+
+import (
+	"sort"
+	"strconv"
+
+	"probpred/internal/query"
+)
+
+// Expression canonicalization for cross-query plan reuse (§2, §6): ad-hoc
+// queries state semantically identical predicates in many textual forms
+// ("c=red & t=SUV", "t=SUV & c=red", "!(t!=SUV) & c=red"). A plan cache
+// keyed on the raw text would miss all of them; keyed on the canonical form
+// it hits. Canonicalize applies only semantics-preserving rewrites, so two
+// predicates with equal canonical keys are guaranteed equivalent — a cached
+// plan is always sound for the query that hits it.
+//
+// The canonical form is computed by: simplifying (constant folding and
+// numeric contradiction detection, which are themselves equivalence
+// rewrites), pushing negations into clause operators (NNF), flattening
+// nested conjunctions into their parent conjunction (and dually for
+// disjunctions), absorbing True/False units, deduplicating identical
+// branches, and sorting branches by their rendered form. The result is a
+// unique representative of the predicate's equivalence class under
+// commutativity, associativity, idempotence, double negation and unit laws.
+
+// Canonicalize returns the canonical form of p. The result is a fresh tree;
+// p is not modified.
+func Canonicalize(p query.Pred) query.Pred {
+	return canonPred(query.NNF(query.Simplify(p)))
+}
+
+// CanonicalKey renders the canonical form of p — the plan-cache key.
+// Semantically equal predicates (up to the rewrites above) share a key, and
+// equal keys imply equal semantics.
+func CanonicalKey(p query.Pred) string {
+	return Canonicalize(p).String()
+}
+
+// PlanKey builds the full plan-cache key for a predicate optimized at a
+// given accuracy target: canonical expression plus the target (plans at
+// different targets allocate different thresholds and may choose different
+// expressions, §6.2).
+func PlanKey(p query.Pred, accuracy float64) string {
+	return CanonicalKey(p) + "@" + strconv.FormatFloat(accuracy, 'g', -1, 64)
+}
+
+func canonPred(p query.Pred) query.Pred {
+	switch n := p.(type) {
+	case *query.Clause:
+		return &query.Clause{Col: n.Col, Op: n.Op, Val: n.Val}
+	case query.True:
+		return n
+	case query.False:
+		return n
+	case *query.Not:
+		// NNF leaves no negations above clauses, but canonPred is defensive
+		// about hand-built trees: renormalize the sub-tree.
+		return canonPred(query.NNF(n))
+	case *query.And:
+		kids := canonKids(n.Kids, true)
+		if kids == nil {
+			return query.False{}
+		}
+		switch len(kids) {
+		case 0:
+			return query.True{}
+		case 1:
+			return kids[0]
+		}
+		return &query.And{Kids: kids}
+	case *query.Or:
+		kids := canonKids(n.Kids, false)
+		if kids == nil {
+			return query.True{}
+		}
+		switch len(kids) {
+		case 0:
+			return query.False{}
+		case 1:
+			return kids[0]
+		}
+		return &query.Or{Kids: kids}
+	}
+	return p
+}
+
+// canonKids canonicalizes, flattens, absorbs, dedupes and sorts the children
+// of a conjunction (conj=true) or disjunction. A nil return means the node
+// collapsed to its absorbing element (False for And, True for Or); an empty
+// slice means it collapsed to its unit.
+func canonKids(kids []query.Pred, conj bool) []query.Pred {
+	flat := make([]query.Pred, 0, len(kids))
+	for _, k := range kids {
+		ck := canonPred(k)
+		switch v := ck.(type) {
+		case query.True:
+			if conj {
+				continue // unit of And
+			}
+			return nil // absorbs Or
+		case query.False:
+			if conj {
+				return nil // absorbs And
+			}
+			continue // unit of Or
+		case *query.And:
+			if conj {
+				flat = append(flat, v.Kids...)
+				continue
+			}
+		case *query.Or:
+			if !conj {
+				flat = append(flat, v.Kids...)
+				continue
+			}
+		}
+		flat = append(flat, ck)
+	}
+	sort.SliceStable(flat, func(i, j int) bool { return flat[i].String() < flat[j].String() })
+	out := flat[:0]
+	prev := ""
+	for i, k := range flat {
+		s := k.String()
+		if i > 0 && s == prev {
+			continue // idempotence: A & A = A, A | A = A
+		}
+		out = append(out, k)
+		prev = s
+	}
+	return out
+}

@@ -8,6 +8,7 @@ package optimizer
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"probpred/internal/core"
 	"probpred/internal/query"
@@ -20,6 +21,13 @@ type Corpus struct {
 	// negCache caches PPs derived by negation reuse (§5.6) so repeated
 	// optimizations share them.
 	negCache map[string]*core.PP
+	// version counts mutations (Add/Remove). Plan caches record the version
+	// a plan was searched under and treat entries from older versions as
+	// stale: a watchdog trip (Remove) or an online retraining (Add) must not
+	// keep serving plans compiled against the previous corpus. Atomic so
+	// concurrent sessions can check staleness without taking the optimizer's
+	// serialization lock.
+	version atomic.Uint64
 }
 
 // NewCorpus returns an empty corpus.
@@ -27,9 +35,21 @@ func NewCorpus() *Corpus {
 	return &Corpus{pps: map[string]*core.PP{}, negCache: map[string]*core.PP{}}
 }
 
+// Version returns the corpus mutation counter. It increases on every Add and
+// successful Remove; equal versions guarantee an unchanged PP set.
+func (c *Corpus) Version() uint64 { return c.version.Load() }
+
 // Add registers a trained PP under its clause key, replacing any previous
-// PP for the same clause.
-func (c *Corpus) Add(pp *core.PP) { c.pps[pp.Clause] = pp }
+// PP for the same clause. A replacement also invalidates the negation-
+// derivation cache: derived PPs wrap the classifier they were derived from,
+// which has just changed.
+func (c *Corpus) Add(pp *core.PP) {
+	if _, replacing := c.pps[pp.Clause]; replacing {
+		c.negCache = map[string]*core.PP{}
+	}
+	c.pps[pp.Clause] = pp
+	c.version.Add(1)
+}
 
 // Remove deletes the PP trained for the clause key, reporting whether one
 // was present. Negation-derived PPs share the removed classifier, so the
@@ -42,6 +62,7 @@ func (c *Corpus) Remove(clause string) bool {
 	}
 	delete(c.pps, clause)
 	c.negCache = map[string]*core.PP{}
+	c.version.Add(1)
 	return true
 }
 

@@ -85,19 +85,24 @@ type Compiled struct {
 
 type compiledNode interface {
 	// test returns pass/fail and the virtual cost actually incurred, which
-	// depends on short-circuiting.
-	test(b blob.Blob) (bool, float64)
+	// depends on short-circuiting. ct (optional) tallies score-cache hits
+	// and misses for the caller's per-run accounting.
+	test(b blob.Blob, ct *cacheTally) (bool, float64)
 	// testBatch evaluates the node over the rows listed in active (indices
 	// into blobs), setting pass[i] for every active i and accumulating into
 	// cost[i] exactly the virtual cost test(blobs[i]) would have charged.
 	// It may read but must not mutate active. See batch.go.
-	testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch)
+	testBatch(blobs []blob.Blob, active []int, pass []bool, cost []float64, s *batchScratch, ct *cacheTally)
 }
 
 type compiledLeaf struct {
 	pp        *core.PP
 	threshold float64
 	cost      float64
+	// cache (optional, WithScoreCache) memoizes this PP's per-blob scores
+	// across queries. Nil on standalone filters: both scoring paths guard on
+	// cache alone, so the uncached hot path pays one nil check per leaf.
+	cache ScoreCache
 	// Opt-in per-clause instrumentation, resolved once by Compiled.Instrument
 	// (see metrics.go). Nil on uninstrumented filters: both scoring paths
 	// guard on scoreHist alone, so the hot path pays one nil check per leaf.
@@ -105,8 +110,28 @@ type compiledLeaf struct {
 	tested, passed *metrics.Counter
 }
 
-func (l *compiledLeaf) test(b blob.Blob) (bool, float64) {
-	score := l.pp.Score(b)
+// score resolves the PP's score for one blob, through the score cache when
+// one is attached. Cached and fresh scores are bit-identical (the cache only
+// ever stores values this same PP produced), so caching never changes
+// pass/fail outcomes. Virtual cost is charged by the caller regardless of
+// cache hits: the cache saves real CPU, not modeled cluster work, keeping
+// cost accounting identical with and without caching.
+func (l *compiledLeaf) score(b blob.Blob, ct *cacheTally) float64 {
+	if l.cache == nil {
+		return l.pp.Score(b)
+	}
+	if s, ok := l.cache.Get(l.pp, b.ID); ok {
+		ct.hit(1)
+		return s
+	}
+	s := l.pp.Score(b)
+	l.cache.Put(l.pp, b.ID, s)
+	ct.miss(1)
+	return s
+}
+
+func (l *compiledLeaf) test(b blob.Blob, ct *cacheTally) (bool, float64) {
+	score := l.score(b, ct)
 	ok := score >= l.threshold
 	if l.scoreHist != nil {
 		l.scoreHist.Observe(score)
@@ -120,10 +145,10 @@ func (l *compiledLeaf) test(b blob.Blob) (bool, float64) {
 
 type compiledConj struct{ kids []compiledNode }
 
-func (c *compiledConj) test(b blob.Blob) (bool, float64) {
+func (c *compiledConj) test(b blob.Blob, ct *cacheTally) (bool, float64) {
 	total := 0.0
 	for _, k := range c.kids {
-		ok, cost := k.test(b)
+		ok, cost := k.test(b, ct)
 		total += cost
 		if !ok {
 			return false, total
@@ -134,10 +159,10 @@ func (c *compiledConj) test(b blob.Blob) (bool, float64) {
 
 type compiledDisj struct{ kids []compiledNode }
 
-func (d *compiledDisj) test(b blob.Blob) (bool, float64) {
+func (d *compiledDisj) test(b blob.Blob, ct *cacheTally) (bool, float64) {
 	total := 0.0
 	for _, k := range d.kids {
-		ok, cost := k.test(b)
+		ok, cost := k.test(b, ct)
 		total += cost
 		if ok {
 			return true, total
@@ -150,7 +175,7 @@ func (d *compiledDisj) test(b blob.Blob) (bool, float64) {
 func (c *Compiled) Name() string { return c.name }
 
 // Test implements engine.BlobFilter.
-func (c *Compiled) Test(b blob.Blob) (bool, float64) { return c.node.test(b) }
+func (c *Compiled) Test(b blob.Blob) (bool, float64) { return c.node.test(b, nil) }
 
 // dropAllFilter rejects every blob at zero cost — the compiled form of an
 // unsatisfiable predicate.
@@ -160,7 +185,7 @@ func dropAllFilter() *Compiled {
 
 type dropAllNode struct{}
 
-func (dropAllNode) test(blob.Blob) (bool, float64) { return false, 0 }
+func (dropAllNode) test(blob.Blob, *cacheTally) (bool, float64) { return false, 0 }
 
 // describePlan renders a compiled plan with per-leaf accuracies for reports
 // (Table 10's "picked plan" column).

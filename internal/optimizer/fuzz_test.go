@@ -1,0 +1,139 @@
+package optimizer
+
+// FuzzCanonicalExpr drives arbitrary predicate strings through the
+// canonicalizer, checking the three properties the serving plan cache
+// depends on: canonicalization is idempotent, it preserves semantics under
+// evaluation, and semantically equal spellings (kid permutations, double
+// negation, duplicated kids) collide on the same cache key. A seed corpus
+// lives in testdata/fuzz/FuzzCanonicalExpr; CI runs a short -fuzz smoke on
+// top of the deterministic seeds.
+
+import (
+	"testing"
+
+	"probpred/internal/query"
+)
+
+// fuzzLookup binds columns to deterministic values derived from variant:
+// numeric on even variants, drawn from a small string pool otherwise, so
+// equality and comparison clauses both get satisfiable and unsatisfiable
+// bindings across variants.
+func fuzzLookup(variant int) query.Lookup {
+	strPool := []string{"SUV", "red", "pt303", "x"}
+	return func(col string) (query.Value, bool) {
+		h := 0
+		for _, r := range col {
+			h = h*31 + int(r)
+		}
+		switch variant % 4 {
+		case 0:
+			return query.Number(float64((h + variant) % 7)), true
+		case 1:
+			return query.Number(float64(((h * 3) + variant) % 100)), true
+		case 2:
+			return query.Str(strPool[(h+variant)%len(strPool)]), true
+		default:
+			if h%2 == 0 {
+				return query.Value{}, false // unbound column
+			}
+			return query.Str(strPool[h%len(strPool)]), true
+		}
+	}
+}
+
+// reverseKids recursively reverses And/Or kid order: a pure respelling.
+func reverseKids(p query.Pred) query.Pred {
+	switch n := p.(type) {
+	case *query.And:
+		kids := make([]query.Pred, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[len(kids)-1-i] = reverseKids(k)
+		}
+		return &query.And{Kids: kids}
+	case *query.Or:
+		kids := make([]query.Pred, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[len(kids)-1-i] = reverseKids(k)
+		}
+		return &query.Or{Kids: kids}
+	case *query.Not:
+		return &query.Not{Kid: reverseKids(n.Kid)}
+	}
+	return p
+}
+
+func FuzzCanonicalExpr(f *testing.F) {
+	for _, seed := range []string{
+		"t=SUV",
+		"t=SUV & c=red",
+		"c=red & t=SUV",
+		"!(!(t=SUV))",
+		"(a=1 | b=2) & (b=2 | a=1)",
+		"t in {sedan, truck}",
+		"s>60 & s<65",
+		"s>60 & s<50",
+		"!(t=SUV | c=red)",
+		"(a=1 & (b=2 & c=3)) | false",
+		"true & (x>1 | true)",
+		"a=1 & a=1 & a=1",
+		"i=pt303 & (o=pt335 | o=pt306)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := query.Parse(input)
+		if err != nil {
+			return // unparseable input is the parser fuzzer's concern
+		}
+		canon := Canonicalize(p)
+		key := CanonicalKey(p)
+
+		// Idempotence: canonicalizing a canonical form is a fixed point.
+		if k := CanonicalKey(canon); k != key {
+			t.Fatalf("not idempotent: %q -> %q -> %q", input, key, k)
+		}
+		// The key is the canonical form's rendering, and it must re-parse —
+		// except the True/False units, whose renderings are not standalone
+		// predicates in this grammar.
+		switch canon.(type) {
+		case query.True, query.False:
+		default:
+			if _, err := query.Parse(key); err != nil {
+				t.Fatalf("canonical key %q does not re-parse: %v", key, err)
+			}
+		}
+
+		// Semantics preserved: where both forms evaluate cleanly they agree.
+		// (Error behavior may legitimately differ: simplification can remove
+		// an erroring branch, and kid reordering changes which error
+		// short-circuits first.)
+		for variant := 0; variant < 6; variant++ {
+			lk := fuzzLookup(variant)
+			want, err1 := p.Eval(lk)
+			got, err2 := canon.Eval(lk)
+			if err1 == nil && err2 == nil && want != got {
+				t.Fatalf("semantics changed for %q (variant %d): %v vs canonical %v (%q)",
+					input, variant, want, got, canon.String())
+			}
+		}
+
+		// Equal-semantics spellings collide on the same key.
+		if k := CanonicalKey(reverseKids(p)); k != key {
+			t.Fatalf("kid reversal changed key: %q vs %q", k, key)
+		}
+		if k := CanonicalKey(&query.Not{Kid: &query.Not{Kid: p}}); k != key {
+			t.Fatalf("double negation changed key: %q vs %q", k, key)
+		}
+		if k := CanonicalKey(&query.And{Kids: []query.Pred{p, p}}); k != key {
+			t.Fatalf("self-conjunction changed key: %q vs %q", k, key)
+		}
+		if k := CanonicalKey(&query.Or{Kids: []query.Pred{p, p}}); k != key {
+			t.Fatalf("self-disjunction changed key: %q vs %q", k, key)
+		}
+
+		// Accuracy must not leak between distinct targets in PlanKey.
+		if PlanKey(p, 0.9) == PlanKey(p, 0.95) {
+			t.Fatalf("plan keys for distinct accuracies collide for %q", input)
+		}
+	})
+}

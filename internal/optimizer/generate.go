@@ -2,7 +2,6 @@ package optimizer
 
 import (
 	"sort"
-	"strings"
 
 	"probpred/internal/core"
 	"probpred/internal/query"
@@ -384,40 +383,6 @@ func subsets(items []int) [][]int {
 		out = append(out, s)
 	}
 	return out
-}
-
-// CanonicalKey renders a predicate as a canonical corpus key: clauses keep
-// their string form; conjunctions/disjunctions sort their children. It lets
-// composite PPs (e.g. for "p & !r") be stored and found regardless of the
-// order clauses were written in.
-func CanonicalKey(p query.Pred) string {
-	switch n := p.(type) {
-	case *query.Clause:
-		return n.String()
-	case *query.And:
-		return canonicalJoin(n.Kids, " & ")
-	case *query.Or:
-		return canonicalJoin(n.Kids, " | ")
-	case *query.Not:
-		return "!(" + CanonicalKey(n.Kid) + ")"
-	case query.True:
-		return "true"
-	}
-	return p.String()
-}
-
-func canonicalJoin(kids []query.Pred, sep string) string {
-	parts := make([]string, len(kids))
-	for i, k := range kids {
-		s := CanonicalKey(k)
-		switch k.(type) {
-		case *query.And, *query.Or:
-			s = "(" + s + ")"
-		}
-		parts[i] = s
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, sep)
 }
 
 // parseClauseKey parses a canonical simple-clause key back into a clause;

@@ -151,7 +151,15 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 	if opts.UDFCost < 0 {
 		return nil, fmt.Errorf("optimizer: negative UDF cost %v", opts.UDFCost)
 	}
-	pred = query.Simplify(pred)
+	// Canonicalize before searching: the search must be a function of the
+	// predicate's MEANING, not its spelling, so that (a) equal queries get
+	// equal plans however they are written, and (b) a plan cache keyed on
+	// CanonicalKey can serve any spelling with a plan searched for another.
+	// Canonicalization also strips double negation and nested duplicates the
+	// rewrite rules would otherwise see as distinct structures. Spans keep
+	// the caller's spelling (orig) so traces match what the user asked.
+	orig := pred
+	pred = Canonicalize(pred)
 	if _, unsat := pred.(query.False); unsat {
 		// The predicate is unsatisfiable (e.g. s>60 ∧ s<50): no blob can
 		// contribute to the answer, so every blob is dropped for free with
@@ -220,7 +228,7 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 		MemoEntries: memoCount.entries,
 		WallNS:      time.Since(start).Nanoseconds(),
 	}
-	o.emitSearch(opts.Obs, pred, dec)
+	o.emitSearch(opts.Obs, orig, dec)
 	o.emitSearchMetrics(dec)
 	return dec, nil
 }

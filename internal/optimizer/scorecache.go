@@ -1,0 +1,95 @@
+package optimizer
+
+import (
+	"sync/atomic"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+)
+
+// Cross-query PP-score caching (§6 / §2's reuse economy): PPs are trained
+// once per simple clause and shared by every query whose predicate implies
+// that clause, so concurrent queries over the same corpus repeatedly score
+// the same (PP, blob) pairs. A ScoreCache memoizes those scores. Because a
+// PP's score for a blob is a pure function of the two, a cached score is
+// bit-identical to a fresh one: caching changes neither results nor virtual
+// cost accounting, only the real CPU spent.
+
+// ScoreCache memoizes per-(PP, blob) classifier scores. Implementations must
+// be safe for concurrent use — one cache is shared by every session of a
+// serving process. Keys are PP identity (pointer) plus blob ID, so a
+// negation-derived PP caches independently of its base (their scores differ
+// in sign), and blob IDs must be unique within the corpus a cache serves.
+type ScoreCache interface {
+	// Get returns the cached score of pp on the blob with the given ID.
+	Get(pp *core.PP, blobID int) (float64, bool)
+	// Put stores pp's score for the blob. Implementations may drop entries
+	// (bounded caches): Put is a hint, not a guarantee.
+	Put(pp *core.PP, blobID int, score float64)
+}
+
+// cacheTally carries a caller's per-run hit/miss counters through one filter
+// evaluation. The pointers are shared with the engine's per-operator
+// accounting (atomic: parallel chunks of one run tally concurrently). A nil
+// tally — or a tally with nil counters — disables counting but not caching.
+type cacheTally struct{ hits, misses *atomic.Uint64 }
+
+func (t *cacheTally) hit(n uint64) {
+	if t != nil && t.hits != nil {
+		t.hits.Add(n)
+	}
+}
+
+func (t *cacheTally) miss(n uint64) {
+	if t != nil && t.misses != nil {
+		t.misses.Add(n)
+	}
+}
+
+// WithScoreCache returns a copy of the compiled filter whose leaves consult
+// cache before scoring. The receiver is not modified — compiled filters are
+// shared across concurrent sessions, so cache attachment must not mutate a
+// filter another session is executing. Pass/fail results, row order and
+// virtual costs are identical to the uncached filter. A nil cache returns
+// the receiver unchanged.
+func (c *Compiled) WithScoreCache(cache ScoreCache) *Compiled {
+	if c == nil || cache == nil {
+		return c
+	}
+	return &Compiled{name: c.name, node: cloneWithCache(c.node, cache)}
+}
+
+func cloneWithCache(n compiledNode, cache ScoreCache) compiledNode {
+	switch v := n.(type) {
+	case *compiledLeaf:
+		cp := *v
+		cp.cache = cache
+		return &cp
+	case *compiledConj:
+		kids := make([]compiledNode, len(v.kids))
+		for i, k := range v.kids {
+			kids[i] = cloneWithCache(k, cache)
+		}
+		return &compiledConj{kids: kids}
+	case *compiledDisj:
+		kids := make([]compiledNode, len(v.kids))
+		for i, k := range v.kids {
+			kids[i] = cloneWithCache(k, cache)
+		}
+		return &compiledDisj{kids: kids}
+	}
+	return n // dropAllNode and friends carry no PPs
+}
+
+// TestCached implements engine.CachedBlobFilter: Test with per-run score-
+// cache accounting. hits/misses are incremented once per PP-leaf score
+// lookup; on a filter with no attached cache neither counter moves.
+func (c *Compiled) TestCached(b blob.Blob, hits, misses *atomic.Uint64) (bool, float64) {
+	return c.node.test(b, &cacheTally{hits: hits, misses: misses})
+}
+
+// TestBatchCached implements engine.CachedBatchBlobFilter: TestBatch with
+// per-run score-cache accounting.
+func (c *Compiled) TestBatchCached(blobs []blob.Blob, pass []bool, cost []float64, hits, misses *atomic.Uint64) {
+	c.testBatchTally(blobs, pass, cost, &cacheTally{hits: hits, misses: misses})
+}

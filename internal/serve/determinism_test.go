@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"testing"
+)
+
+// Determinism golden test: the same workload must produce byte-identical
+// rendered outputs — row sets, row order and virtual costs — across every
+// combination of engine worker count and score-cache mode. Workers only
+// change how the simulator uses real cores; the score cache only changes
+// real CPU spent. Neither may leak into results or accounting. CI runs this
+// under -race, so the cross-worker and cross-session sharing is also checked
+// for data races.
+func TestServeDeterminismAcrossWorkersAndCache(t *testing.T) {
+	type variant struct {
+		name     string
+		workers  int
+		disabled bool
+	}
+	variants := []variant{
+		{"w1-cache", 1, false},
+		{"w4-cache", 4, false},
+		{"w1-nocache", 1, true},
+		{"w4-nocache", 4, true},
+	}
+	outputs := make(map[string]string, len(variants))
+	for _, v := range variants {
+		st := newMiniStack(t, 2000, func(c *Config) {
+			c.Exec.Workers = v.workers
+			c.DisableScoreCache = v.disabled
+			c.MaxConcurrent = 4
+		})
+		resps, err := st.srv.Replay(miniWorkload, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		outputs[v.name] = renderResponses(resps)
+	}
+	golden := outputs[variants[0].name]
+	for _, v := range variants[1:] {
+		if outputs[v.name] != golden {
+			t.Errorf("variant %s diverged from %s:\n%s\nvs\n%s",
+				v.name, variants[0].name, outputs[v.name], golden)
+		}
+	}
+}
+
+// TestReplayOrderIndependence: responses come back in workload order with
+// per-query results independent of dispatch concurrency.
+func TestReplayOrderIndependence(t *testing.T) {
+	for _, conc := range []int{1, 3, 8} {
+		st := newMiniStack(t, 1500, func(c *Config) { c.MaxConcurrent = 4 })
+		resps, err := st.srv.Replay(miniWorkload, conc)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", conc, err)
+		}
+		for i, r := range resps {
+			if r == nil {
+				t.Fatalf("concurrency %d: response %d is nil", conc, i)
+			}
+			if r.ID != miniWorkload[i].ID {
+				t.Fatalf("concurrency %d: response %d is %s, want %s", conc, i, r.ID, miniWorkload[i].ID)
+			}
+		}
+		if conc == 1 {
+			continue
+		}
+		// Rendered outputs must match the sequential replay exactly.
+		seq := newMiniStack(t, 1500, nil)
+		want, err := seq.srv.Replay(miniWorkload, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, exp := renderResponses(resps), renderResponses(want); got != exp {
+			t.Errorf("concurrency %d diverged from sequential replay:\n%s\nvs\n%s", conc, got, exp)
+		}
+	}
+}
+
+// TestScoreCacheEvictionKeepsResults: a score cache far too small for the
+// stream (constant eviction pressure) still serves identical results.
+func TestScoreCacheEvictionKeepsResults(t *testing.T) {
+	full := newMiniStack(t, 1500, nil)
+	tiny := newMiniStack(t, 1500, func(c *Config) {
+		c.ScoreCacheSize = 64
+		c.ScoreCacheShards = 4
+	})
+	rf, err := full.srv.Replay(miniWorkload, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tiny.srv.Replay(miniWorkload, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderResponses(rf), renderResponses(rt); a != b {
+		t.Fatalf("tiny score cache diverged:\n%s\nvs\n%s", a, b)
+	}
+	if n := tiny.srv.Stats().ScoreEntries; n > 64 {
+		t.Fatalf("tiny cache holds %d entries, bound is 64", n)
+	}
+}

@@ -1,0 +1,405 @@
+// Package serve runs many query sessions concurrently over one shared PP
+// corpus and blob stream, amortizing planning and scoring work across
+// sessions (the reuse economy of §2: PPs are per-clause assets shared by
+// every query that implies the clause).
+//
+// Two caches carry the amortization. The plan cache memoizes optimizer
+// decisions under a canonical predicate key, so semantically equal queries —
+// however they are written — skip the plan search; entries are invalidated
+// when the PP corpus changes (watchdog trip, online retraining). The score
+// cache memoizes per-(PP, blob) classifier scores in a sharded bounded LRU
+// shared by all sessions, so overlapping predicates score each blob once.
+// Both caches are transparent: served results, row order and virtual-cost
+// accounting are bit-identical to cache-free execution, because PP scores
+// are pure functions and cache hits still charge the modeled virtual cost
+// (the cache saves real CPU, not modeled cluster work).
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"probpred/internal/engine"
+	"probpred/internal/metrics"
+	"probpred/internal/obs"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+)
+
+// QueryBuilder turns a predicate into an executable plan. Implementations
+// describe the application's UDF pipeline (e.g. the traffic benchmark's
+// detector + per-column UDFs); the server supplies the PP filter to inject.
+type QueryBuilder interface {
+	// UDFCost returns u, the per-blob virtual cost of the plan downstream of
+	// a PP for this predicate — the work a PP can short-circuit (§3).
+	UDFCost(pred query.Pred) (float64, error)
+	// Build assembles the executable plan for the predicate, injecting filter
+	// right after the scan. filter is nil when the optimizer declined to
+	// inject (the plan must then run unmodified).
+	Build(pred query.Pred, filter engine.BlobFilter) (engine.Plan, error)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Optimizer plans predicates over the shared corpus. Required. The
+	// server serializes Optimize calls internally (the optimizer's search
+	// state is not safe for concurrent use); cached plans are served without
+	// touching it.
+	Optimizer *optimizer.Optimizer
+	// Builder assembles executable plans. Required.
+	Builder QueryBuilder
+	// Accuracy is the default query-wide accuracy target for requests that
+	// do not set their own. Zero selects 1 (no false negatives).
+	Accuracy float64
+	// Domains maps columns to finite value domains for the optimizer's
+	// wrangler rewrites. Optional.
+	Domains map[string][]query.Value
+	// MaxConcurrent bounds simultaneously executing sessions; excess
+	// sessions queue (admission control). Zero selects GOMAXPROCS.
+	MaxConcurrent int
+	// Exec is the execution environment for every session's engine.Run.
+	// Its Obs/Metrics default to the server's when unset.
+	Exec engine.Config
+	// PlanCacheSize bounds cached plans (LRU). Zero selects 128.
+	PlanCacheSize int
+	// ScoreCacheSize bounds memoized (PP, blob) scores across all shards
+	// (LRU per shard). Zero selects 1<<20 entries (~48 MB upper bound at 48
+	// bytes/entry of key+score+list overhead).
+	ScoreCacheSize int
+	// ScoreCacheShards is the score cache's lock-striping factor. Zero
+	// selects 16.
+	ScoreCacheShards int
+	// DisableScoreCache keeps the score-cache plumbing (and its miss
+	// counters) but stores nothing, so every lookup misses — the knob the
+	// benchmark uses to measure uncached evaluation counts through identical
+	// code paths.
+	DisableScoreCache bool
+	// Metrics receives serving telemetry: session and plan-cache counters,
+	// admission-queue and active-session gauges, score-cache totals. Nil
+	// disables.
+	Metrics *metrics.Registry
+	// Obs receives one KindSession span per request plus the optimizer's
+	// KindOptimize spans for cache-miss searches. Nil disables.
+	Obs *obs.Tracer
+}
+
+func (c *Config) fill() error {
+	if c.Optimizer == nil {
+		return fmt.Errorf("serve: Config.Optimizer is required")
+	}
+	if c.Builder == nil {
+		return fmt.Errorf("serve: Config.Builder is required")
+	}
+	if c.Accuracy == 0 {
+		c.Accuracy = 1
+	}
+	if c.Accuracy < 0 || c.Accuracy > 1 {
+		return fmt.Errorf("serve: accuracy target %v outside (0,1]", c.Accuracy)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 128
+	}
+	if c.ScoreCacheSize <= 0 {
+		c.ScoreCacheSize = 1 << 20
+	}
+	if c.ScoreCacheShards <= 0 {
+		c.ScoreCacheShards = 16
+	}
+	if c.Exec.Obs == nil {
+		c.Exec.Obs = c.Obs
+	}
+	if c.Exec.Metrics == nil {
+		c.Exec.Metrics = c.Metrics
+	}
+	return nil
+}
+
+// Request is one query session's input.
+type Request struct {
+	// ID labels the session in spans and responses. Optional.
+	ID string
+	// Pred is the query predicate.
+	Pred query.Pred
+	// Accuracy overrides the server's default accuracy target when non-zero.
+	Accuracy float64
+}
+
+// Response is one completed session.
+type Response struct {
+	// ID echoes the request label.
+	ID string
+	// Result is the execution outcome (rows + cost accounting).
+	Result *engine.Result
+	// Decision is the optimizer decision the session executed under.
+	Decision *optimizer.Decision
+	// PlanKey is the canonical plan-cache key the session resolved to.
+	PlanKey string
+	// PlanCached reports whether the decision came from the plan cache
+	// (true) or a fresh plan search (false).
+	PlanCached bool
+}
+
+// Stats is a point-in-time snapshot of the server's cache and session
+// counters.
+type Stats struct {
+	// Sessions is how many requests completed (including failures).
+	Sessions uint64
+	// PlanHits / PlanMisses count plan-cache outcomes per session; hits
+	// skipped the optimizer search entirely.
+	PlanHits, PlanMisses uint64
+	// PlanInvalidations counts cached plans dropped as stale (corpus
+	// changed) or flushed manually.
+	PlanInvalidations uint64
+	// PlanEntries is the current plan-cache population.
+	PlanEntries int
+	// ScoreHits / ScoreMisses count score-cache lookups across all sessions.
+	// With the score cache disabled every lookup is a miss, so ScoreMisses
+	// equals the number of PP score evaluations performed.
+	ScoreHits, ScoreMisses uint64
+	// ScoreEntries is the current score-cache population.
+	ScoreEntries int
+}
+
+// Server admits concurrent query sessions over a shared optimizer, plan
+// cache and score cache. Safe for concurrent Do calls.
+type Server struct {
+	cfg    Config
+	plans  *planCache
+	scores *scoreCache
+	// sem is the admission semaphore bounding concurrently executing
+	// sessions.
+	sem chan struct{}
+	// optMu serializes plan searches: optimizer.Optimize mutates shared
+	// search state (negation cache, dependence map) and is not safe for
+	// concurrent use. Cached plans bypass this lock.
+	optMu sync.Mutex
+
+	sessions             atomic.Uint64
+	planHits, planMisses atomic.Uint64
+}
+
+// New validates the config and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		plans:  newPlanCache(cfg.PlanCacheSize),
+		scores: newScoreCache(cfg.ScoreCacheSize, cfg.ScoreCacheShards, cfg.DisableScoreCache),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+	}, nil
+}
+
+// Do runs one query session: admission, plan-cache resolution (searching on
+// miss), execution. Blocks while the server is at MaxConcurrent.
+func (s *Server) Do(req Request) (*Response, error) {
+	reg := s.cfg.Metrics
+	if reg != nil {
+		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(1)
+	}
+	s.sem <- struct{}{}
+	if reg != nil {
+		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(-1)
+		reg.Gauge("serve_active_sessions", "Sessions currently executing.").Add(1)
+	}
+	defer func() {
+		<-s.sem
+		if reg != nil {
+			reg.Gauge("serve_active_sessions", "Sessions currently executing.").Add(-1)
+		}
+	}()
+	s.sessions.Add(1)
+
+	name := req.ID
+	if name == "" {
+		name = req.Pred.String()
+	}
+	span := s.cfg.Obs.Begin(obs.KindSession, name)
+	resp, err := s.serve(req, &span)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	s.cfg.Obs.End(&span)
+	s.emitSessionMetrics(resp, err)
+	return resp, err
+}
+
+func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
+	if req.Pred == nil {
+		return nil, fmt.Errorf("serve: request %q has no predicate", req.ID)
+	}
+	accuracy := req.Accuracy
+	if accuracy == 0 {
+		accuracy = s.cfg.Accuracy
+	}
+	key := optimizer.PlanKey(req.Pred, accuracy)
+	entry, cached, err := s.resolvePlan(req.Pred, accuracy, key)
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttr("plan_key", key)
+	span.SetAttr("plan_cached", strconv.FormatBool(cached))
+
+	var filter engine.BlobFilter
+	if entry.dec.Inject {
+		filter = entry.filter
+	}
+	plan, err := s.cfg.Builder.Build(req.Pred, filter)
+	if err != nil {
+		return nil, fmt.Errorf("serve: build plan for %q: %w", req.Pred.String(), err)
+	}
+	res, err := engine.Run(plan, s.cfg.Exec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: run %q: %w", req.Pred.String(), err)
+	}
+	span.RowsOut = len(res.Rows)
+	span.CostVMS = res.ClusterTime
+	return &Response{
+		ID:         req.ID,
+		Result:     res,
+		Decision:   entry.dec,
+		PlanKey:    key,
+		PlanCached: cached,
+	}, nil
+}
+
+// resolvePlan returns the cached plan entry for (pred, accuracy), or runs a
+// plan search under the optimizer lock. The lookup is double-checked: while
+// a session waits on optMu another session may have completed the identical
+// search, and the second lookup turns that into a hit instead of a duplicate
+// search.
+func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string) (*planEntry, bool, error) {
+	corpus := s.cfg.Optimizer.Corpus()
+	if e, ok := s.plans.get(key, corpus.Version()); ok {
+		s.planHits.Add(1)
+		return e, true, nil
+	}
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	version := corpus.Version()
+	if e, ok := s.plans.get(key, version); ok {
+		s.planHits.Add(1)
+		return e, true, nil
+	}
+	u, err := s.cfg.Builder.UDFCost(pred)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: UDF cost for %q: %w", pred.String(), err)
+	}
+	dec, err := s.cfg.Optimizer.Optimize(pred, optimizer.Options{
+		Accuracy: accuracy,
+		UDFCost:  u,
+		Domains:  s.cfg.Domains,
+		Obs:      s.cfg.Obs,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: optimize %q: %w", pred.String(), err)
+	}
+	e := &planEntry{key: key, version: version, dec: dec}
+	if dec.Inject {
+		// One score-cache-attached filter per entry, shared by every session
+		// that hits it — sharing is what makes cross-session score reuse
+		// work; the engine keeps per-run accounting separate.
+		e.filter = dec.Filter.WithScoreCache(s.scores)
+	}
+	s.plans.put(e)
+	s.planMisses.Add(1)
+	return e, false, nil
+}
+
+// Invalidate drops every cached plan, forcing fresh searches. Corpus changes
+// invalidate automatically (entries are version-checked); this is the manual
+// override for out-of-band invalidation.
+func (s *Server) Invalidate() { s.plans.flush() }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Sessions:          s.sessions.Load(),
+		PlanHits:          s.planHits.Load(),
+		PlanMisses:        s.planMisses.Load(),
+		PlanInvalidations: s.plans.invalidations.Load(),
+		PlanEntries:       s.plans.len(),
+		ScoreHits:         s.scores.hits.Load(),
+		ScoreMisses:       s.scores.misses.Load(),
+		ScoreEntries:      s.scores.Len(),
+	}
+}
+
+// emitSessionMetrics records one completed session. Cache totals are
+// republished as gauges so /metrics always reflects the latest snapshot.
+func (s *Server) emitSessionMetrics(resp *Response, err error) {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("serve_sessions_total", "Query sessions served.").Inc()
+	if err != nil {
+		reg.Counter("serve_session_errors_total", "Query sessions that failed.").Inc()
+		return
+	}
+	if resp.PlanCached {
+		reg.Counter("serve_plan_cache_hits_total", "Sessions served from the plan cache.").Inc()
+	} else {
+		reg.Counter("serve_plan_cache_misses_total", "Sessions that ran a fresh plan search.").Inc()
+	}
+	reg.Gauge("serve_plan_cache_entries", "Plans currently cached.").Set(float64(s.plans.len()))
+	reg.Gauge("serve_plan_cache_invalidations", "Cached plans dropped as stale or flushed.").Set(float64(s.plans.invalidations.Load()))
+	reg.Gauge("serve_score_cache_entries", "PP scores currently cached.").Set(float64(s.scores.Len()))
+	reg.Gauge("serve_score_cache_hits", "Cumulative score-cache hits across sessions.").Set(float64(s.scores.hits.Load()))
+	reg.Gauge("serve_score_cache_misses", "Cumulative score-cache misses across sessions.").Set(float64(s.scores.misses.Load()))
+}
+
+// WorkloadQuery is one query of a replayed workload.
+type WorkloadQuery struct {
+	ID   string
+	Pred string
+	// Accuracy overrides the server default when non-zero.
+	Accuracy float64
+}
+
+// Replay parses and serves a workload at the given concurrency, returning
+// responses in workload order regardless of completion order. The first
+// error aborts remaining queries on that worker but in-flight queries
+// complete; responses for failed or unstarted queries are nil.
+func (s *Server) Replay(workload []WorkloadQuery, concurrency int) ([]*Response, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	out := make([]*Response, len(workload))
+	errs := make([]error, len(workload))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(workload) {
+					return
+				}
+				q := workload[i]
+				pred, err := query.Parse(q.Pred)
+				if err != nil {
+					errs[i] = fmt.Errorf("serve: parse %s (%q): %w", q.ID, q.Pred, err)
+					continue
+				}
+				out[i], errs[i] = s.Do(Request{ID: q.ID, Pred: pred, Accuracy: q.Accuracy})
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("query %s: %w", workload[i].ID, err)
+		}
+	}
+	return out, nil
+}

@@ -57,6 +57,7 @@ import (
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
+	"probpred/internal/serve"
 	"probpred/internal/udf"
 )
 
@@ -313,6 +314,54 @@ func LoadPP(r io.Reader) (*PP, error) { return core.LoadPP(r) }
 
 // LoadCorpus reads a corpus previously written with (*Corpus).Save.
 func LoadCorpus(r io.Reader) (*Corpus, error) { return optimizer.LoadCorpus(r) }
+
+// Concurrent serving: many query sessions over one shared corpus, with a
+// canonical-key plan cache (skip repeat optimizer searches; invalidated on
+// corpus change) and a sharded LRU memoizing per-(PP, blob) scores across
+// sessions. Both caches are transparent — results and virtual costs are
+// byte-identical to cache-free execution (see DESIGN.md, "Serving &
+// caching").
+type (
+	// Server admits concurrent query sessions; safe for concurrent Serve.
+	Server = serve.Server
+	// ServeConfig configures a Server (optimizer, plan builder, accuracy
+	// target, admission bound, cache sizes).
+	ServeConfig = serve.Config
+	// ServeRequest is one query session's input.
+	ServeRequest = serve.Request
+	// ServeResponse is one completed session: result, decision, plan key.
+	ServeResponse = serve.Response
+	// ServeStats snapshots a server's session and cache counters.
+	ServeStats = serve.Stats
+	// QueryBuilder describes the application's UDF pipeline to the server:
+	// the per-blob UDF cost a PP can short-circuit, and plan assembly with
+	// the server-chosen PP filter injected.
+	QueryBuilder = serve.QueryBuilder
+	// WorkloadQuery is one query of a replayed workload.
+	WorkloadQuery = serve.WorkloadQuery
+)
+
+// Plan assembly pieces for QueryBuilder implementations (BuildPlan covers
+// the standard scan → PP → UDFs → σ shape; a builder that needs joins,
+// grouping or projections assembles operators directly).
+type (
+	// PlanOperator is one physical operator in a Plan.
+	PlanOperator = engine.Operator
+	// BlobFilter is the raw-blob filter interface a PP expression compiles
+	// to (Decision.Filter implements it).
+	BlobFilter = engine.BlobFilter
+	// ScanOp sources blobs into the plan.
+	ScanOp = engine.Scan
+	// PPFilterOp applies a BlobFilter ahead of the UDFs.
+	PPFilterOp = engine.PPFilter
+	// ProcessOp runs a Processor UDF per row.
+	ProcessOp = engine.Process
+	// SelectOp applies the original predicate to materialized columns.
+	SelectOp = engine.Select
+)
+
+// NewServer validates the config and returns a ready server.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // Training-set planning (the batch "outer loop" of §4 Figure 3b, with the
 // budgeted PP-selection problem of Appendix A.1).

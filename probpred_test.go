@@ -221,6 +221,87 @@ func (pcaSignScorer) Score(x Vec) float64 {
 func (pcaSignScorer) Name() string  { return "pcsign" }
 func (pcaSignScorer) Cost() float64 { return 0.1 }
 
+// facadeBuilder implements QueryBuilder over the traffic test blobs with the
+// fake classifier UDFs — the README's serving example, end to end.
+type facadeBuilder struct{ blobs []Blob }
+
+func (b facadeBuilder) UDFCost(pred Pred) (float64, error) {
+	return fakeCostProc{}.Cost() + fakeColorProc{}.Cost(), nil
+}
+
+func (b facadeBuilder) Build(pred Pred, filter BlobFilter) (Plan, error) {
+	ops := []PlanOperator{&ScanOp{Blobs: b.blobs}}
+	if filter != nil {
+		ops = append(ops, &PPFilterOp{F: filter})
+	}
+	ops = append(ops, &ProcessOp{P: fakeCostProc{}}, &ProcessOp{P: fakeColorProc{}},
+		&SelectOp{Pred: pred})
+	return Plan{Ops: ops}, nil
+}
+
+// TestFacadeServing drives the serving layer through the facade: overlapping
+// and respelled queries share one cached plan, and results match a direct
+// RunPlan of the same predicate.
+func TestFacadeServing(t *testing.T) {
+	blobs := data.Traffic(data.TrafficConfig{Rows: 3000, Seed: 40})
+	corpus := NewCorpus()
+	for i, clause := range []string{"t=SUV", "c=red"} {
+		pred := query.MustParse(clause)
+		set, err := data.TrafficSet(blobs[:1500], pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, val, _ := set.Split(NewRNG(uint64(i)+41), 0.8, 0.2)
+		pp, err := TrainPP(clause, train, val, TrainConfig{Approach: "Raw+SVM", Seed: uint64(i) + 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus.Add(pp)
+	}
+	srv, err := NewServer(ServeConfig{
+		Optimizer: NewOptimizer(corpus),
+		Builder:   facadeBuilder{blobs: blobs[1500:]},
+		Accuracy:  0.95,
+		Domains:   data.TrafficDomains(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps, err := srv.Replay([]WorkloadQuery{
+		{ID: "Q1", Pred: "t=SUV & c=red"},
+		{ID: "Q2", Pred: "c=red & t=SUV"}, // respelling: must hit Q1's plan
+		{ID: "Q3", Pred: "t=SUV"},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].PlanKey != resps[1].PlanKey {
+		t.Fatalf("respelled query missed the plan cache: %q vs %q",
+			resps[0].PlanKey, resps[1].PlanKey)
+	}
+	st := srv.Stats()
+	if st.Sessions != 3 || st.PlanHits+st.PlanMisses != 3 || st.PlanHits < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(resps[0].Result.Rows) != len(resps[1].Result.Rows) {
+		t.Fatalf("respelled query returned %d rows, original %d",
+			len(resps[1].Result.Rows), len(resps[0].Result.Rows))
+	}
+	// Served result equals a direct facade run of the same decision.
+	pred := query.MustParse("t=SUV & c=red")
+	direct, err := RunPlan(BuildPlan(blobs[1500:], resps[0].Decision,
+		[]Processor{fakeCostProc{}, fakeColorProc{}}, pred), ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Rows) != len(resps[0].Result.Rows) ||
+		direct.ClusterTime != resps[0].Result.ClusterTime {
+		t.Fatalf("served result diverged from direct run: %d rows / %v vs %d rows / %v",
+			len(resps[0].Result.Rows), resps[0].Result.ClusterTime,
+			len(direct.Rows), direct.ClusterTime)
+	}
+}
+
 func TestExplainPlanFacade(t *testing.T) {
 	blobs := data.Traffic(data.TrafficConfig{Rows: 5, Seed: 30})
 	pred := query.MustParse("t=SUV")
