@@ -29,6 +29,7 @@ var Experiments = map[string]Runner{
 	"faults":          Faults,
 	"hotpath":         Hotpath,
 	"serve":           Serve,
+	"adapt":           Adaptive,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -38,7 +39,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
-	"faults", "hotpath", "serve",
+	"faults", "hotpath", "serve", "adapt",
 }
 
 // Run executes one experiment by id.

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"probpred/internal/obs"
+)
+
+// Adaptive execution: RunAdaptive is Run with chunk-boundary plan-swap
+// points. The row-local prefix of the plan (source, PP filters, processors,
+// selects, projections — everything before the first stage boundary) is
+// executed chunk by chunk, and after each chunk a SwapDecider may replace
+// the plan's PP filter for the remaining chunks; the suffix (reducers,
+// joins, top-k) then runs once over the concatenated rows.
+//
+// Exactness: every prefix operator is row-local with linear virtual cost, so
+// running it per chunk and concatenating outputs in chunk order yields
+// byte-identical rows and chunk-sum costs identical to the single-shot Run.
+// Stage-boundary operators see every row at once, exactly as in Run. The
+// swap itself is only outcome-safe if the replacement filter accepts exactly
+// the blobs the old one accepts — the optimizer's Reoptimize guarantees that
+// by reordering short-circuit evaluation without touching leaves or
+// thresholds; RunAdaptive itself just performs whatever swap the decider
+// asks for.
+
+// ChunkStats describes one completed adaptive chunk to the swap decider.
+type ChunkStats struct {
+	// Chunk is the 0-based index of the chunk that just finished.
+	Chunk int
+	// TotalChunks is the run's chunk count.
+	TotalChunks int
+	// Rows is how many source rows the chunk contained.
+	Rows int
+	// Cost is the virtual cost the prefix charged so far, all chunks.
+	Cost float64
+}
+
+// SwapDecider is consulted after each adaptive chunk except the last. A
+// non-nil filter return hot-swaps the plan's PP filter for the remaining
+// chunks; nil keeps the current plan. An error is absorbed gracefully: the
+// run continues on the current plan and Result.SwapErrors counts the event
+// (the caller's decider wrapper owns retries, budgets and breakers).
+type SwapDecider func(cs ChunkStats) (BlobFilter, error)
+
+// AdaptiveConfig configures RunAdaptive.
+type AdaptiveConfig struct {
+	// ChunkRows is the number of source rows per adaptive chunk. Zero (or a
+	// nil Decide) degrades RunAdaptive to plain Run.
+	ChunkRows int
+	// Decide is the chunk-boundary swap hook.
+	Decide SwapDecider
+}
+
+// PlanSwap records one mid-run hot-swap.
+type PlanSwap struct {
+	// Chunk is the first chunk executed under the new filter.
+	Chunk int
+	// OpIndex is the swapped operator's plan position.
+	OpIndex int
+	// Old and New are the operator names before and after the swap.
+	Old, New string
+}
+
+// opAcc accumulates one plan position's accounting across chunks.
+type opAcc struct {
+	rowsIn, rowsOut int
+	cost            float64
+	wallNS          int64
+	tally           retryTally
+	ctally          cacheTally
+}
+
+// RunAdaptive executes the plan like Run, with chunk-boundary swap points in
+// the row-local prefix. Results are identical to Run for any
+// outcome-equivalent decider; cost accounting differs only by attribution of
+// the swapped operator's chunks to its old vs new name.
+func RunAdaptive(p Plan, cfg Config, acfg AdaptiveConfig) (*Result, error) {
+	if acfg.ChunkRows <= 0 || acfg.Decide == nil {
+		return Run(p, cfg)
+	}
+	cfg.fill()
+	if len(p.Ops) == 0 {
+		return nil, fmt.Errorf("engine: empty plan")
+	}
+	// The prefix is the source plus every following non-boundary operator;
+	// a swappable PP filter must be inside it. Plans with nothing to adapt
+	// run the plain path.
+	split := 1
+	for split < len(p.Ops) && !p.Ops[split].StageBoundary() {
+		split++
+	}
+	swapIdx := -1
+	for i := 1; i < split; i++ {
+		if _, ok := p.Ops[i].(*PPFilter); ok {
+			swapIdx = i
+			break
+		}
+	}
+	if p.Ops[0].StageBoundary() || swapIdx == -1 {
+		return Run(p, cfg)
+	}
+
+	ops := append([]Operator(nil), p.Ops...) // swaps must not mutate the caller's plan
+	runSpan := cfg.Obs.Begin(obs.KindRun, "plan[adaptive]")
+	runStart := time.Now()
+	st := newStats()
+	accs := make([]opAcc, len(ops))
+	stageCosts := []float64{0}
+	var swaps []PlanSwap
+	swapErrors := 0
+
+	fail := func(opIdx int, err error) (*Result, error) {
+		// Mirror Run's charge-then-fail contract: everything executed so far
+		// is charged, spans carry the error, metrics count the failed run.
+		emitAccSpans(cfg, &runSpan, ops, accs, opIdx)
+		runSpan.CostVMS = st.Cluster
+		runSpan.SetAttr("error", err.Error())
+		cfg.Obs.End(&runSpan)
+		emitAccMetrics(cfg, ops, accs, opIdx)
+		emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true)
+		return nil, &OpError{Stage: len(stageCosts) - 1, Op: ops[opIdx].Name(), Err: err}
+	}
+
+	// runOne executes ops[i] over in, accumulating into accs[i].
+	runOne := func(i int, in []Row) ([]Row, error) {
+		op := ops[i]
+		acc := &accs[i]
+		st.RowsIn[op.Name()] += len(in)
+		before := st.OpCost[op.Name()]
+		opStart := time.Now()
+		out, err := runOp(op, in, st, cfg, &runSpan, &acc.tally, &acc.ctally)
+		acc.wallNS += time.Since(opStart).Nanoseconds()
+		cost := st.OpCost[op.Name()] - before
+		acc.cost += cost
+		acc.rowsIn += len(in)
+		stageCosts[len(stageCosts)-1] += cost
+		if err != nil {
+			return nil, err
+		}
+		acc.rowsOut += len(out)
+		st.RowsOut[op.Name()] += len(out)
+		return out, nil
+	}
+
+	// Source runs once (its cost does not depend on chunking); its output is
+	// then processed chunk by chunk through the rest of the prefix.
+	rows, err := runOne(0, nil)
+	if err != nil {
+		return fail(0, err)
+	}
+	bounds := fixedChunkBounds(len(rows), acfg.ChunkRows)
+	var prefixOut []Row
+	for ci, b := range bounds {
+		chunk := rows[b[0]:b[1]]
+		for i := 1; i < split; i++ {
+			chunk, err = runOne(i, chunk)
+			if err != nil {
+				return fail(i, err)
+			}
+		}
+		prefixOut = append(prefixOut, chunk...)
+		if ci == len(bounds)-1 {
+			break // no remaining chunks to adapt for
+		}
+		prefixCost := 0.0
+		for i := 0; i < split; i++ {
+			prefixCost += accs[i].cost
+		}
+		newF, derr := acfg.Decide(ChunkStats{
+			Chunk: ci, TotalChunks: len(bounds), Rows: b[1] - b[0], Cost: prefixCost,
+		})
+		if derr != nil {
+			// Graceful degradation: the current plan keeps running.
+			swapErrors++
+			continue
+		}
+		if newF == nil {
+			continue
+		}
+		old := ops[swapIdx].Name()
+		ops[swapIdx] = &PPFilter{F: newF}
+		swaps = append(swaps, PlanSwap{
+			Chunk: ci + 1, OpIndex: swapIdx, Old: old, New: ops[swapIdx].Name(),
+		})
+	}
+
+	// Suffix: stage-boundary operators run once over the concatenated rows,
+	// exactly as in Run.
+	rows = prefixOut
+	for i := split; i < len(ops); i++ {
+		if ops[i].StageBoundary() {
+			stageCosts = append(stageCosts, 0)
+		}
+		rows, err = runOne(i, rows)
+		if err != nil {
+			return fail(i, err)
+		}
+	}
+
+	latency := 0.0
+	for _, c := range stageCosts {
+		latency += c/float64(cfg.Parallelism) + cfg.StageOverheadMS
+	}
+	emitAccSpans(cfg, &runSpan, ops, accs, len(ops))
+	runSpan.CostVMS = st.Cluster
+	runSpan.RowsOut = len(rows)
+	runSpan.SetAttr("stages", strconv.Itoa(len(stageCosts)))
+	runSpan.SetAttr("latency_vms", strconv.FormatFloat(latency, 'f', 1, 64))
+	runSpan.SetAttr("chunks", strconv.Itoa(len(bounds)))
+	runSpan.SetAttr("swaps", strconv.Itoa(len(swaps)))
+	cfg.Obs.End(&runSpan)
+	perOp := make([]OpStats, len(ops))
+	for i, op := range ops {
+		_, isPP := op.(*PPFilter)
+		perOp[i] = OpStats{
+			Name: op.Name(), RowsIn: accs[i].rowsIn, RowsOut: accs[i].rowsOut,
+			Cost: accs[i].cost, WallNS: accs[i].wallNS,
+			StageBoundary: op.StageBoundary(), PPFilter: isPP,
+			Retries: accs[i].tally.retries, Timeouts: accs[i].tally.timeouts,
+			CacheHits: accs[i].ctally.hits.Load(), CacheMisses: accs[i].ctally.misses.Load(),
+		}
+	}
+	res := &Result{
+		Rows:        rows,
+		ClusterTime: st.Cluster,
+		Latency:     latency,
+		Stages:      len(stageCosts),
+		Stats:       st,
+		PerOp:       perOp,
+		Swaps:       swaps,
+		Chunks:      len(bounds),
+		SwapErrors:  swapErrors,
+	}
+	emitAccMetrics(cfg, ops, accs, len(ops))
+	emitRunMetrics(cfg.Metrics, res, time.Since(runStart).Nanoseconds(), false)
+	return res, nil
+}
+
+// fixedChunkBounds splits n rows into ceil(n/size) contiguous chunks of at
+// most size rows (at least one chunk, possibly empty, so the prefix always
+// executes).
+func fixedChunkBounds(n, size int) [][2]int {
+	var out [][2]int
+	for start := 0; ; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+		if end >= n {
+			return out
+		}
+	}
+}
+
+// emitAccSpans publishes the accumulated per-operator spans in plan order,
+// up to and including position last (exclusive bound lim = last+1 callers
+// pass lim directly). Chunked operators appear as one span whose cost and
+// cardinalities sum their chunks.
+func emitAccSpans(cfg Config, runSpan *obs.Span, ops []Operator, accs []opAcc, lim int) {
+	if !cfg.Obs.Enabled() {
+		return
+	}
+	if lim > len(ops) {
+		lim = len(ops)
+	} else if lim < len(ops) {
+		lim++ // include the failing operator's partial accounting
+	}
+	for i := 0; i < lim; i++ {
+		sp := cfg.Obs.BeginChild(runSpan, obs.KindOperator, ops[i].Name())
+		sp.WallNS = accs[i].wallNS
+		sp.CostVMS = accs[i].cost
+		sp.RowsIn = accs[i].rowsIn
+		sp.RowsOut = accs[i].rowsOut
+		cfg.Obs.EmitSpan(sp)
+	}
+}
+
+// emitAccMetrics publishes the accumulated per-operator metrics (same lim
+// contract as emitAccSpans).
+func emitAccMetrics(cfg Config, ops []Operator, accs []opAcc, lim int) {
+	if cfg.Metrics == nil {
+		return
+	}
+	if lim > len(ops) {
+		lim = len(ops)
+	} else if lim < len(ops) {
+		lim++
+	}
+	for i := 0; i < lim; i++ {
+		emitOpMetrics(cfg.Metrics, ops[i], accs[i].rowsIn, accs[i].rowsOut,
+			accs[i].cost, accs[i].wallNS, accs[i].tally, &accs[i].ctally)
+	}
+}

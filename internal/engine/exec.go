@@ -134,6 +134,14 @@ type Result struct {
 	Stats *Stats
 	// PerOp carries per-operator detail in plan position order.
 	PerOp []OpStats
+	// Swaps lists the mid-run plan hot-swaps an adaptive run performed
+	// (RunAdaptive; empty for plain runs).
+	Swaps []PlanSwap
+	// Chunks is how many adaptive chunks executed (zero for plain runs).
+	Chunks int
+	// SwapErrors counts swap-decider errors the run absorbed by continuing
+	// on its current plan.
+	SwapErrors int
 }
 
 // Run executes the plan and returns rows plus cost accounting. The first

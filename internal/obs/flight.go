@@ -70,8 +70,10 @@ func (r Record) writeTo(w io.Writer) {
 // FlightRecorder is a Sink that keeps the last N records in a fixed-size ring
 // buffer and dumps them when something goes wrong — so post-mortems do not
 // require a streaming sink to have been attached in advance. The default
-// trigger fires on a failed run span (kind "run" carrying an "error" attr)
-// and on a watchdog trip event; each trigger dumps the ring once to the
+// trigger fires on a failed run span (kind "run" carrying an "error" attr),
+// on a watchdog trip event, and on a mid-query plan swap ("adapt.swap": the
+// window leading up to a replan is exactly what a drift post-mortem needs);
+// each trigger dumps the ring once to the
 // configured writer, newest record last, then clears it so consecutive
 // failures produce disjoint dumps.
 type FlightRecorder struct {
@@ -85,7 +87,7 @@ type FlightRecorder struct {
 }
 
 // DefaultTrigger is the auto-dump predicate wired into NewFlightRecorder: a
-// failed query run or a tripped accuracy watchdog.
+// failed query run, a tripped accuracy watchdog, or a mid-query plan swap.
 func DefaultTrigger(r Record) bool {
 	if r.Span != nil && r.Span.Kind == KindRun {
 		for _, a := range r.Span.Attrs {
@@ -94,8 +96,11 @@ func DefaultTrigger(r Record) bool {
 			}
 		}
 	}
-	if r.Event != nil && r.Event.Name == "watchdog.trip" {
-		return true
+	if r.Event != nil {
+		switch r.Event.Name {
+		case "watchdog.trip", "adapt.swap":
+			return true
+		}
 	}
 	return false
 }

@@ -37,6 +37,9 @@ const (
 	KindOptimize = "optimize"
 	// KindTrain is one PP (re)training.
 	KindTrain = "train"
+	// KindAdapt is one mid-query re-optimization attempt (adapt controller):
+	// divergence check, optimizer re-entry and the resulting swap decision.
+	KindAdapt = "adapt"
 	// KindSession is one served query session (serve.Server.Do): plan-cache
 	// resolution plus execution, with the run span parented under it.
 	KindSession = "session"

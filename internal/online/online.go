@@ -144,10 +144,9 @@ type clauseState struct {
 	labels         []bool
 	sinceLastTrain int
 	trained        bool
-	breaker        BreakerState
-	// breaches counts consecutive below-target accuracy reports while the
-	// breaker is closed.
-	breaches int
+	// cb is the clause's accuracy circuit (the shared Breaker state machine);
+	// the watchdog maps its transitions to corpus side effects.
+	cb *Breaker
 }
 
 // System is the online PP manager.
@@ -189,7 +188,10 @@ func New(cfg Config) (*System, error) {
 		if _, ok := p.(*query.Clause); !ok {
 			return nil, fmt.Errorf("online: %q is not a simple clause", c)
 		}
-		s.clauses[c] = &clauseState{pred: p}
+		s.clauses[c] = &clauseState{pred: p, cb: NewBreaker(BreakerConfig{
+			K:          cfg.Watchdog.K,
+			JitterSeed: cfg.Seed ^ hashClause(c),
+		})}
 		s.order = append(s.order, c)
 	}
 	sort.Strings(s.order)
@@ -221,13 +223,23 @@ func (s *System) Observe(b blob.Blob, l query.Lookup) error {
 	return nil
 }
 
+// hashClause derives a per-clause jitter seed (FNV-1a).
+func hashClause(c string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(c); i++ {
+		h ^= uint64(c[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // maybeTrain (re)trains a clause's PP when enough labels accumulated. A
 // clause whose breaker tripped retrains as soon as it has collected enough
 // fresh labels, then re-enters on probation.
 func (s *System) maybeTrain(key string, st *clauseState) error {
 	var ready bool
 	switch {
-	case st.breaker == BreakerOpen:
+	case st.cb.State() == BreakerOpen:
 		ready = st.sinceLastTrain >= s.cfg.Watchdog.FreshLabels
 	case !st.trained:
 		ready = len(st.blobs) >= s.cfg.MinLabels
@@ -257,7 +269,7 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	}
 	sp.RowsIn = train.Len()
 	sp.SetAttr("approach", pp.Approach)
-	sp.SetAttr("retrain", strconv.FormatBool(st.breaker == BreakerOpen))
+	sp.SetAttr("retrain", strconv.FormatBool(st.cb.State() == BreakerOpen))
 	s.cfg.Obs.End(&sp)
 	s.cfg.Obs.Event("online.train", obs.Attr{Key: "clause", Value: key},
 		obs.Attr{Key: "labels", Value: strconv.Itoa(len(st.labels))})
@@ -269,8 +281,8 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 		reg.Counter("online_trainings_total", "PP (re)trainings performed by the online loop.",
 			metrics.L("clause", key)).Inc()
 	}
-	if st.breaker == BreakerOpen {
-		st.breaker = BreakerProbation
+	if st.cb.State() == BreakerOpen {
+		st.cb.Probation()
 		s.cfg.Obs.Event("watchdog.probation", obs.Attr{Key: "clause", Value: key})
 		if reg := s.cfg.Metrics; reg != nil {
 			reg.Counter("watchdog_probations_total", "Retrained PPs re-entering service on probation.",
@@ -352,46 +364,43 @@ func (s *System) resolveClause(leaf string) (string, *clauseState) {
 	return "", nil
 }
 
-// reportClause advances one clause's breaker state machine.
+// reportClause advances one clause's breaker state machine, mapping the
+// shared Breaker's transitions to the watchdog's side effects.
 func (s *System) reportClause(key string, st *clauseState, pass bool) {
-	switch st.breaker {
-	case BreakerClosed:
-		if pass {
-			st.breaches = 0
-			return
-		}
-		st.breaches++
+	wasClosed, prevFails := st.cb.State() == BreakerClosed, st.cb.Fails()
+	breach := func() {
 		s.cfg.Obs.Event("watchdog.breach", obs.Attr{Key: "clause", Value: key},
-			obs.Attr{Key: "consecutive", Value: strconv.Itoa(st.breaches)})
+			obs.Attr{Key: "consecutive", Value: strconv.Itoa(prevFails + 1)})
 		if reg := s.cfg.Metrics; reg != nil {
 			reg.Counter("watchdog_breaches_total", "Below-target accuracy reports while the breaker was closed.",
 				metrics.L("clause", key)).Inc()
 		}
-		if st.breaches >= s.cfg.Watchdog.K {
-			s.trip(key, st)
+	}
+	switch st.cb.Report(pass, 0) {
+	case TransitionBreach:
+		breach()
+	case TransitionTrip:
+		// The K-th consecutive miss while closed is both the final breach and
+		// the trip; keep the consecutive-miss telemetry complete. A probation
+		// miss trips directly without breaching.
+		if wasClosed {
+			breach()
 		}
-	case BreakerProbation:
-		if pass {
-			st.breaker = BreakerClosed
-			st.breaches = 0
-			s.cfg.Obs.Event("watchdog.close", obs.Attr{Key: "clause", Value: key})
-			if reg := s.cfg.Metrics; reg != nil {
-				reg.Counter("watchdog_closes_total", "Breakers closed after a passing probation report.",
-					metrics.L("clause", key)).Inc()
-			}
-		} else {
-			s.trip(key, st)
+		s.trip(key, st)
+	case TransitionClose:
+		s.cfg.Obs.Event("watchdog.close", obs.Attr{Key: "clause", Value: key})
+		if reg := s.cfg.Metrics; reg != nil {
+			reg.Counter("watchdog_closes_total", "Breakers closed after a passing probation report.",
+				metrics.L("clause", key)).Inc()
 		}
-	case BreakerOpen:
-		// Nothing is injected while open; stale reports are ignored.
 	}
 }
 
-// trip opens a clause's breaker: the PP leaves the corpus so decisions fall
-// back to the NoP plan, and the clause queues for retraining on fresh labels.
+// trip reacts to a clause's breaker opening: the PP leaves the corpus so
+// decisions fall back to the NoP plan, and the clause queues for retraining
+// on fresh labels. (The K-th breach also emits a breach event first so the
+// consecutive-miss telemetry stays complete.)
 func (s *System) trip(key string, st *clauseState) {
-	st.breaker = BreakerOpen
-	st.breaches = 0
 	st.trained = false
 	st.sinceLastTrain = 0
 	s.corpus.Remove(key)
@@ -409,7 +418,7 @@ func (s *System) trip(key string, st *clauseState) {
 // system does not manage).
 func (s *System) Breaker(clause string) BreakerState {
 	if st, ok := s.clauses[clause]; ok {
-		return st.breaker
+		return st.cb.State()
 	}
 	return BreakerClosed
 }
@@ -418,7 +427,7 @@ func (s *System) Breaker(clause string) BreakerState {
 func (s *System) TrippedClauses() []string {
 	var out []string
 	for _, key := range s.order {
-		if s.clauses[key].breaker == BreakerOpen {
+		if s.clauses[key].cb.State() == BreakerOpen {
 			out = append(out, key)
 		}
 	}

@@ -122,9 +122,18 @@ func (l *compiledLeaf) testBatch(blobs []blob.Blob, active []int, pass []bool, c
 		}
 		l.pp.ScoreBatch(bs, sc)
 	}
+	passedN := 0
 	for j, i := range active {
-		pass[i] = sc[j] >= l.threshold
+		ok := sc[j] >= l.threshold
+		pass[i] = ok
 		cost[i] += l.cost
+		if ok {
+			passedN++
+		}
+	}
+	if l.probe != nil {
+		l.probe.tested.Add(uint64(n))
+		l.probe.passed.Add(uint64(passedN))
 	}
 	if l.scoreHist != nil {
 		passed := 0

@@ -193,6 +193,7 @@ func compileNode(p *plan) compiledNode {
 			pp:        p.leaf,
 			threshold: p.leaf.Threshold(p.accuracy),
 			cost:      p.leaf.Cost(),
+			planned:   p.reduction,
 		}
 	}
 	kids := make([]compiledNode, len(p.kids))

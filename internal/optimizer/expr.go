@@ -99,6 +99,12 @@ type compiledLeaf struct {
 	pp        *core.PP
 	threshold float64
 	cost      float64
+	// planned is the reduction the plan estimated for this leaf at its
+	// allocated accuracy — the baseline runtime observations diverge from.
+	planned float64
+	// probe (optional, WithRuntimeObserver) accumulates observed row counts
+	// for mid-query re-optimization. Nil on unobserved filters.
+	probe *leafProbe
 	// cache (optional, WithScoreCache) memoizes this PP's per-blob scores
 	// across queries. Nil on standalone filters: both scoring paths guard on
 	// cache alone, so the uncached hot path pays one nil check per leaf.
@@ -133,6 +139,12 @@ func (l *compiledLeaf) score(b blob.Blob, ct *cacheTally) float64 {
 func (l *compiledLeaf) test(b blob.Blob, ct *cacheTally) (bool, float64) {
 	score := l.score(b, ct)
 	ok := score >= l.threshold
+	if l.probe != nil {
+		l.probe.tested.Add(1)
+		if ok {
+			l.probe.passed.Add(1)
+		}
+	}
 	if l.scoreHist != nil {
 		l.scoreHist.Observe(score)
 		l.tested.Inc()

@@ -45,6 +45,10 @@ type planCache struct {
 	items map[string]*list.Element
 
 	invalidations atomic.Uint64
+	// demotions / promotions count adapt-driven cache maintenance: stale
+	// entries dropped mid-query and re-ordered filters installed in their
+	// place.
+	demotions, promotions atomic.Uint64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -86,6 +90,47 @@ func (c *planCache) put(e *planEntry) {
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*planEntry).key)
 	}
+}
+
+// demote drops the entry under key (if present), counting the demotion. The
+// adapt controller calls this when mid-query observation shows the cached
+// plan's statistics are stale; in-flight sessions keep their entry pointer
+// (entries are immutable), later sessions re-resolve.
+func (c *planCache) demote(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.demotions.Add(1)
+	return true
+}
+
+// promote installs a re-ordered filter under key as a fresh entry (immutable
+// swap: a new planEntry, never mutation of one other sessions may hold),
+// counting the promotion. Decision and corpus version are inherited from the
+// entry being replaced; when the key is absent (demoted moments ago, or
+// evicted) the promotion needs a donor entry to inherit from, so the caller
+// passes the one its session ran under.
+func (c *planCache) promote(donor *planEntry, filter *optimizer.Compiled) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fresh := &planEntry{key: donor.key, version: donor.version, dec: donor.dec, filter: filter}
+	if el, ok := c.items[donor.key]; ok {
+		el.Value = fresh
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[donor.key] = c.ll.PushFront(fresh)
+		for c.ll.Len() > c.cap {
+			last := c.ll.Back()
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*planEntry).key)
+		}
+	}
+	c.promotions.Add(1)
 }
 
 // flush drops every entry (manual invalidation), counting them.

@@ -1,7 +1,14 @@
 package serve
 
 import (
+	"fmt"
+	"strings"
+	"sync"
 	"testing"
+
+	"probpred/internal/adapt"
+	"probpred/internal/blob"
+	"probpred/internal/mathx"
 )
 
 // Determinism golden test: the same workload must produce byte-identical
@@ -74,6 +81,163 @@ func TestReplayOrderIndependence(t *testing.T) {
 		if got, exp := renderResponses(resps), renderResponses(want); got != exp {
 			t.Errorf("concurrency %d diverged from sequential replay:\n%s\nvs\n%s", conc, got, exp)
 		}
+	}
+}
+
+// driftStream inverts the validation statistics the mini corpus was labeled
+// under: nearly everything is red (the rare color) and only every tenth blob
+// is an SUV, so cached plans for SUV&red carry a stale short-circuit order.
+func driftStream(n int) []blob.Blob {
+	out := make([]blob.Blob, n)
+	for i := range out {
+		typ := 0.0 // sedan
+		if i%10 == 0 {
+			typ = 1 // SUV
+		}
+		out[i] = blob.FromDense(i, mathx.Vec{typ, 3 /* red */, 40, 0})
+	}
+	return out
+}
+
+// renderRowIDs renders responses as query ID plus output blob IDs only.
+// Adaptive serving keeps rows byte-identical but may lower a session's
+// virtual cost mid-run (that is its purpose), and under concurrent replay
+// which sessions start on the promoted plan is schedule-dependent — so the
+// adaptive goldens compare results, not per-session cost.
+func renderRowIDs(resps []*Response) string {
+	var sb strings.Builder
+	for _, r := range resps {
+		if r == nil {
+			sb.WriteString("<nil>\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "%s ids=", r.ID)
+		for i, row := range r.Result.Rows {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", row.Blob.ID)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Adaptive serving under drift: concurrent sessions share one cached plan
+// while the adapt controller demotes it mid-run and promotes the re-ordered
+// filter, and every served row set stays byte-identical to the non-adaptive
+// server's. CI runs this under -race, so the demotion/promotion traffic
+// against concurrent cache readers is also checked for data races.
+func TestServeAdaptiveDeterminismUnderConcurrentDemotion(t *testing.T) {
+	// Q4/Q5 share a canonical key; repeating them keeps several sessions on
+	// the same entry while swaps demote and promote it.
+	workload := []WorkloadQuery{
+		{ID: "Q1", Pred: "t=SUV & c=red"},
+		{ID: "Q2", Pred: "c=red & t=SUV"},
+		{ID: "Q3", Pred: "t=SUV & c=red"},
+		{ID: "Q4", Pred: "c=red & t=SUV"},
+		{ID: "Q5", Pred: "t=SUV & c=red"},
+		{ID: "Q6", Pred: "c=red & t=SUV"},
+	}
+	stream := driftStream(2000)
+	baseline := newMiniStack(t, 100, func(c *Config) {
+		c.Builder = &miniBuilder{blobs: stream, udf: miniUDF{cost: 40}}
+	})
+	want, err := baseline.srv.Replay(workload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderRowIDs(want)
+
+	for _, conc := range []int{1, 4} {
+		st := newMiniStack(t, 100, func(c *Config) {
+			c.Builder = &miniBuilder{blobs: stream, udf: miniUDF{cost: 40}}
+			c.Adapt = adapt.New(adapt.Config{ChunkRows: 256})
+			c.MaxConcurrent = 4
+		})
+		resps, err := st.srv.Replay(workload, conc)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", conc, err)
+		}
+		if got := renderRowIDs(resps); got != golden {
+			t.Errorf("concurrency %d: adaptive results diverged:\n%s\nvs\n%s", conc, got, golden)
+		}
+		var swaps int
+		for _, r := range resps {
+			if r.Adapt == nil {
+				t.Fatalf("concurrency %d: %s missing adapt report", conc, r.ID)
+			}
+			swaps += len(r.Adapt.Swaps)
+		}
+		if swaps == 0 {
+			t.Errorf("concurrency %d: drift produced no swap", conc)
+		}
+		stats := st.srv.Stats()
+		if stats.PlanDemotions == 0 || stats.PlanPromotions == 0 {
+			t.Errorf("concurrency %d: cache not maintained: demotions=%d promotions=%d",
+				conc, stats.PlanDemotions, stats.PlanPromotions)
+		}
+		// Promoted plans still resolve: the key serves from cache afterwards.
+		if _, ok := st.srv.plans.get(want[0].PlanKey, st.corpus.Version()); !ok {
+			t.Errorf("concurrency %d: promoted plan missing from cache", conc)
+		}
+	}
+}
+
+// The plan cache itself survives demote/promote/get storms: entries stay
+// immutable (readers never observe a half-written entry) and the population
+// stays bounded. Run under -race this is the cache's concurrency contract.
+func TestPlanCacheConcurrentDemotePromote(t *testing.T) {
+	st := newMiniStack(t, 200, nil)
+	if _, err := st.srv.Replay(miniWorkload[:4], 2); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, 4)
+	for _, q := range miniWorkload[:4] {
+		resp, err := st.srv.Replay([]WorkloadQuery{q}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, resp[0].PlanKey)
+	}
+	version := st.corpus.Version()
+	donors := make(map[string]*planEntry, len(keys))
+	for _, k := range keys {
+		e, ok := st.srv.plans.get(k, version)
+		if !ok {
+			t.Fatalf("key %q not cached", k)
+		}
+		donors[k] = e
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch g % 3 {
+				case 0:
+					st.srv.plans.demote(k)
+				case 1:
+					st.srv.plans.promote(donors[k], donors[k].filter)
+				default:
+					if e, ok := st.srv.plans.get(k, version); ok {
+						if e.key != k || e.dec == nil {
+							t.Errorf("torn entry for %q", k)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := st.srv.plans.len(); n > len(miniWorkload) {
+		t.Fatalf("cache population %d exceeds workload plans", n)
+	}
+	if st.srv.plans.demotions.Load() == 0 || st.srv.plans.promotions.Load() == 0 {
+		t.Fatal("counters did not move")
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"probpred/internal/adapt"
 	"probpred/internal/engine"
 	"probpred/internal/metrics"
 	"probpred/internal/obs"
@@ -77,6 +78,14 @@ type Config struct {
 	// benchmark uses to measure uncached evaluation counts through identical
 	// code paths.
 	DisableScoreCache bool
+	// Adapt enables mid-query re-optimization: sessions whose plans inject a
+	// compiled PP expression execute under the controller, which watches
+	// observed selectivities against the plan's estimates, hot-swaps to a
+	// re-ordered (outcome-identical) filter when they diverge, and demotes/
+	// promotes this server's plan-cache entry so later sessions start on the
+	// corrected order. Nil disables adaptation. Controllers may be shared
+	// across servers; breaker state is per plan key.
+	Adapt *adapt.Controller
 	// Metrics receives serving telemetry: session and plan-cache counters,
 	// admission-queue and active-session gauges, score-cache totals. Nil
 	// disables.
@@ -143,6 +152,9 @@ type Response struct {
 	// PlanCached reports whether the decision came from the plan cache
 	// (true) or a fresh plan search (false).
 	PlanCached bool
+	// Adapt reports what mid-query re-optimization did during the session.
+	// Nil when the server has no adapt controller configured.
+	Adapt *adapt.Report
 }
 
 // Stats is a point-in-time snapshot of the server's cache and session
@@ -164,6 +176,10 @@ type Stats struct {
 	ScoreHits, ScoreMisses uint64
 	// ScoreEntries is the current score-cache population.
 	ScoreEntries int
+	// PlanDemotions / PlanPromotions count adapt-driven plan-cache
+	// maintenance: stale entries dropped mid-query and re-ordered filters
+	// installed in their place.
+	PlanDemotions, PlanPromotions uint64
 }
 
 // Server admits concurrent query sessions over a shared optimizer, plan
@@ -255,9 +271,22 @@ func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: build plan for %q: %w", req.Pred.String(), err)
 	}
-	res, err := engine.Run(plan, s.cfg.Exec)
+	var res *engine.Result
+	var arep *adapt.Report
+	if s.cfg.Adapt != nil && filter != nil {
+		res, arep, err = s.cfg.Adapt.Run(plan, s.cfg.Exec, adapt.RunSpec{
+			Key:   key,
+			Reopt: s.reoptimize,
+			Cache: sessionCache{s: s, entry: entry},
+		})
+	} else {
+		res, err = engine.Run(plan, s.cfg.Exec)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: run %q: %w", req.Pred.String(), err)
+	}
+	if arep != nil && len(arep.Swaps) > 0 {
+		span.SetAttr("adapt_swaps", strconv.Itoa(len(arep.Swaps)))
 	}
 	span.RowsOut = len(res.Rows)
 	span.CostVMS = res.ClusterTime
@@ -267,7 +296,37 @@ func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
 		Decision:   entry.dec,
 		PlanKey:    key,
 		PlanCached: cached,
+		Adapt:      arep,
 	}, nil
+}
+
+// reoptimize is the adapt controller's optimizer re-entry. It takes the same
+// lock as plan searches: Reoptimize reads optimizer state that Optimize
+// mutates, and neither is safe for concurrent use.
+func (s *Server) reoptimize(f *optimizer.Compiled, minRows uint64) (*optimizer.Reoptimized, error) {
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	return s.cfg.Optimizer.Reoptimize(f, minRows, s.cfg.Obs)
+}
+
+// sessionCache adapts the server's plan cache to adapt.PlanCache for one
+// session. The session's own entry is the donor a promotion inherits its
+// decision and corpus version from — the key may have been demoted (or
+// evicted) by the time the promotion lands, and the cache must still be able
+// to build a complete fresh entry.
+type sessionCache struct {
+	s     *Server
+	entry *planEntry
+}
+
+// DemotePlan implements adapt.PlanCache.
+func (c sessionCache) DemotePlan(key string) { c.s.plans.demote(key) }
+
+// PromotePlan implements adapt.PlanCache. The promoted filter is the
+// re-ordered compiled expression; it shares the entry filter's leaves, so the
+// score-cache attachment (and cross-session score reuse) carries over.
+func (c sessionCache) PromotePlan(key string, re *optimizer.Reoptimized) {
+	c.s.plans.promote(c.entry, re.Filter)
 }
 
 // resolvePlan returns the cached plan entry for (pred, accuracy), or runs a
@@ -329,6 +388,8 @@ func (s *Server) Stats() Stats {
 		ScoreHits:         s.scores.hits.Load(),
 		ScoreMisses:       s.scores.misses.Load(),
 		ScoreEntries:      s.scores.Len(),
+		PlanDemotions:     s.plans.demotions.Load(),
+		PlanPromotions:    s.plans.promotions.Load(),
 	}
 }
 
@@ -351,6 +412,8 @@ func (s *Server) emitSessionMetrics(resp *Response, err error) {
 	}
 	reg.Gauge("serve_plan_cache_entries", "Plans currently cached.").Set(float64(s.plans.len()))
 	reg.Gauge("serve_plan_cache_invalidations", "Cached plans dropped as stale or flushed.").Set(float64(s.plans.invalidations.Load()))
+	reg.Gauge("serve_plan_cache_demotions", "Cached plans demoted by mid-query adaptation.").Set(float64(s.plans.demotions.Load()))
+	reg.Gauge("serve_plan_cache_promotions", "Re-ordered plans promoted into the cache by mid-query adaptation.").Set(float64(s.plans.promotions.Load()))
 	reg.Gauge("serve_score_cache_entries", "PP scores currently cached.").Set(float64(s.scores.Len()))
 	reg.Gauge("serve_score_cache_hits", "Cumulative score-cache hits across sessions.").Set(float64(s.scores.hits.Load()))
 	reg.Gauge("serve_score_cache_misses", "Cumulative score-cache misses across sessions.").Set(float64(s.scores.misses.Load()))

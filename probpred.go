@@ -47,6 +47,7 @@ import (
 	"io"
 	"net/http"
 
+	"probpred/internal/adapt"
 	"probpred/internal/blob"
 	"probpred/internal/core"
 	"probpred/internal/dimred"
@@ -362,6 +363,26 @@ type (
 
 // NewServer validates the config and returns a ready server.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Adaptive mid-query re-optimization: a controller that watches observed vs
+// planned per-leaf PP reductions at chunk boundaries and hot-swaps to a
+// cheaper sibling order when they diverge, preserving byte-identical
+// outputs; failures degrade gracefully behind a per-plan circuit breaker
+// (see DESIGN.md, "Adaptive re-optimization"). Attach one via
+// ServeConfig.Adapt, or drive a single plan with (*AdaptController).Run.
+type (
+	// AdaptController re-optimizes running queries; safe for concurrent use.
+	AdaptController = adapt.Controller
+	// AdaptConfig tunes chunking, the divergence trigger, hysteresis,
+	// re-planning budget and breaker thresholds. Zero value = defaults.
+	AdaptConfig = adapt.Config
+	// AdaptReport summarizes one adaptive run: replans, swaps, failures,
+	// pinning and the final evaluation order.
+	AdaptReport = adapt.Report
+)
+
+// NewAdaptController validates the config and returns a ready controller.
+func NewAdaptController(cfg AdaptConfig) *AdaptController { return adapt.New(cfg) }
 
 // Training-set planning (the batch "outer loop" of §4 Figure 3b, with the
 // budgeted PP-selection problem of Appendix A.1).
