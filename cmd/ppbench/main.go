@@ -6,6 +6,7 @@
 //	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
 //	        [-json BENCH_pp.json] [-hotpath BENCH_hotpath.json]
 //	        [-serve BENCH_serve.json] [-adaptive BENCH_adaptive.json]
+//	        [-latency BENCH_latency.json]
 //	        [-pprof localhost:6060] [-metrics localhost:9090] [-hold]
 //
 // The experiment ids match DESIGN.md's per-experiment index. Output of a
@@ -45,6 +46,7 @@ func main() {
 	hotpathPath := flag.String("hotpath", "", "measure the scalar-vs-batch scoring hot path and write BENCH_hotpath.json to this path")
 	servePath := flag.String("serve", "", "replay the TRAF20 workload through the serving layer (score cache off vs on) and write BENCH_serve.json to this path")
 	adaptivePath := flag.String("adaptive", "", "run a drifted stream with and without mid-query re-optimization and write BENCH_adaptive.json to this path")
+	latencyPath := flag.String("latency", "", "drive the serving layer with an open-loop load generator (rate x concurrency sweep, PP on/off variants) and write BENCH_latency.json to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:9090) while running")
 	hold := flag.Bool("hold", false, "with -metrics or -pprof: keep serving after experiments finish, until interrupted")
@@ -136,6 +138,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote adaptive report to %s\n", *adaptivePath)
+		return
+	}
+	if *latencyPath != "" {
+		doc, rep, err := bench.RunLatency(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: latency: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		f, err := os.Create(*latencyPath)
+		if err == nil {
+			err = doc.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: latency: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote latency report to %s\n", *latencyPath)
 		return
 	}
 

@@ -1,0 +1,491 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"probpred/internal/data"
+	"probpred/internal/engine"
+	"probpred/internal/mathx"
+	"probpred/internal/metrics"
+	"probpred/internal/query"
+	"probpred/internal/serve"
+)
+
+// This file is the wall-clock SLO harness (ROADMAP item 2): an open-loop
+// load generator driving serve.Server.Do with a mixed TRAF20 workload. Every
+// other benchmark in this package measures virtual cost; this one measures
+// what a serving system is ultimately judged on — tail latency under load.
+//
+// Open-loop means arrivals follow a precomputed schedule (fixed-rate or
+// Poisson inter-arrivals from a seeded RNG) and are dispatched on that
+// schedule no matter how slow completions are. A closed-loop driver (N
+// clients in think-time loops) would throttle its own offered load exactly
+// when the server slows down, hiding the queueing behavior we are here to
+// measure (coordinated omission). Late completions therefore pile up behind
+// the admission semaphore, and the enqueue→admit (queue wait) vs admit→done
+// (service) split — recorded by serve into the serve_admission_wait_ns /
+// serve_service_ns histograms and returned per query on serve.Response —
+// shows where the time went.
+
+// arrival is one scheduled dispatch of the open-loop generator.
+type arrival struct {
+	// At is the offset from the run start at which the query is dispatched.
+	At time.Duration
+	// Query indexes the workload mix.
+	Query int
+}
+
+// latencySchedule precomputes warm+timed arrivals at offered rate qps. The
+// first warm arrivals cover the mix round-robin (so every distinct query is
+// planned before measurement starts); the timed remainder draws the mix from
+// the RNG. With poisson, inter-arrival gaps are exponential (a memoryless
+// Poisson process); otherwise they are the constant 1/qps. The schedule is a
+// pure function of its arguments — same seed, same schedule — and is fixed
+// before the first dispatch, which is what makes the generator open-loop:
+// nothing about execution can feed back into arrival times.
+func latencySchedule(warm, timed int, qps float64, poisson bool, mix int, rng *mathx.RNG) []arrival {
+	out := make([]arrival, warm+timed)
+	var at float64 // seconds
+	for i := range out {
+		gap := 1 / qps
+		if poisson {
+			gap = -math.Log(1-rng.Float64()) / qps
+		}
+		at += gap
+		q := i % mix
+		if i >= warm {
+			q = rng.Intn(mix)
+		}
+		out[i] = arrival{At: time.Duration(at * float64(time.Second)), Query: q}
+	}
+	return out
+}
+
+// latencyServer is the slice of serve.Server the generator needs; the
+// open-loop tests drive it with a stub whose completions block.
+type latencyServer interface {
+	Do(serve.Request) (*serve.Response, error)
+	Stats() serve.Stats
+}
+
+// latencyQuery is one entry of the workload mix.
+type latencyQuery struct {
+	ID   string
+	Pred query.Pred
+}
+
+// LatencyQuantiles summarizes one duration population in milliseconds.
+// Quantiles come from a log-bucketed metrics.Histogram (≤19% relative
+// error); mean and max are exact.
+type LatencyQuantiles struct {
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// latencyDist feeds one duration population into a log-bucketed histogram
+// while tracking the exact max.
+type latencyDist struct {
+	hist *metrics.Histogram
+	max  time.Duration
+}
+
+func (d *latencyDist) observe(v time.Duration) {
+	d.hist.Observe(float64(v))
+	if v > d.max {
+		d.max = v
+	}
+}
+
+func (d *latencyDist) quantiles() LatencyQuantiles {
+	const ms = float64(time.Millisecond)
+	return LatencyQuantiles{
+		P50MS:  d.hist.Quantile(0.50) / ms,
+		P95MS:  d.hist.Quantile(0.95) / ms,
+		P99MS:  d.hist.Quantile(0.99) / ms,
+		MeanMS: d.hist.Mean() / ms,
+		MaxMS:  float64(d.max) / ms,
+	}
+}
+
+// LatencyPoint is one sweep point's offered load and measured outcome.
+type LatencyPoint struct {
+	// Mode identifies the serving variant: "pp" (PP injection + score
+	// cache), "pp-nocache" (PP injection, score cache disabled), "nop" (no
+	// PP injection: the full UDF pipeline runs on every blob).
+	Mode string `json:"mode"`
+	// Arrivals is the inter-arrival law: "poisson" or "fixed".
+	Arrivals string `json:"arrivals"`
+	// OfferedQPS is the schedule's arrival rate; Utilization is offered
+	// load over the point's nominal capacity, min(MaxConcurrent,
+	// GOMAXPROCS)/base-service.
+	OfferedQPS    float64 `json:"offered_qps"`
+	Utilization   float64 `json:"utilization"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	// Warmup / Timed are the phase sizes; only timed queries are measured.
+	Warmup int `json:"warmup"`
+	Timed  int `json:"timed"`
+
+	// AchievedQPS is timed completions over the timed span (first timed
+	// dispatch to last timed completion). Under overload it falls below
+	// OfferedQPS — the open loop keeps offering anyway.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Errors counts failed timed sessions (0 on a healthy run).
+	Errors int `json:"errors"`
+	// DispatchLagMaxMS is the worst lateness of an actual dispatch behind
+	// its scheduled arrival — generator health, not server latency.
+	DispatchLagMaxMS float64 `json:"dispatch_lag_max_ms"`
+
+	// QueueWait is enqueue→admit (admission-semaphore wait), Service is
+	// admit→done, Total is dispatch→done as the client saw it.
+	QueueWait LatencyQuantiles `json:"queue_wait"`
+	Service   LatencyQuantiles `json:"service"`
+	Total     LatencyQuantiles `json:"total"`
+
+	// Cache and adaptation counters at the end of the point (the point's
+	// server starts cold, so these are per-point totals incl. warmup).
+	PlanHits       uint64 `json:"plan_hits"`
+	PlanMisses     uint64 `json:"plan_misses"`
+	ScoreHits      uint64 `json:"score_hits"`
+	ScoreEvals     uint64 `json:"score_evals"`
+	PlanDemotions  uint64 `json:"plan_demotions"`
+	PlanPromotions uint64 `json:"plan_promotions"`
+}
+
+// LatencyDoc is the machine-readable report written to BENCH_latency.json.
+type LatencyDoc struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	Quick       bool   `json:"quick"`
+	// Queries is the distinct query count of the mix (TRAF20).
+	Queries int `json:"queries"`
+	// BaseServiceMS is the calibrated single-session mean service time of
+	// the "pp" variant — the unit offered rates are scaled by.
+	BaseServiceMS float64 `json:"base_service_ms"`
+
+	// Points is the rate × MaxConcurrent sweep of the "pp" variant.
+	Points []LatencyPoint `json:"points"`
+	// Variants compares pp / pp-nocache / nop at one reference point.
+	Variants []LatencyPoint `json:"variants"`
+
+	// NoPOverPPTotalP50 is the end-to-end latency gap PP injection buys:
+	// the no-PP variant's total p50 over the PP variant's, same offered
+	// load. CacheOffOverOnServiceP50 is the same ratio for disabling the
+	// score cache.
+	NoPOverPPTotalP50        float64 `json:"nop_over_pp_total_p50"`
+	CacheOffOverOnServiceP50 float64 `json:"cacheoff_over_on_service_p50"`
+
+	// Low-rate sanity, the CI gate's inputs: among the lowest-utilization
+	// sweep points, the one delivering the highest achieved/offered ratio
+	// (i.e. with adequate admission width for the rate). An uncontended
+	// open-loop run must achieve ≈ its offered rate with ≈ zero queue wait.
+	LowPointAchievedOverOffered float64 `json:"low_point_achieved_over_offered"`
+	LowPointQueueP50MS          float64 `json:"low_point_queue_p50_ms"`
+	LowPointServiceP50MS        float64 `json:"low_point_service_p50_ms"`
+}
+
+// Write serializes the document as indented JSON.
+func (d *LatencyDoc) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// pointOutcome is one arrival's completion record.
+type pointOutcome struct {
+	resp        *serve.Response
+	err         error
+	dispatched  time.Time
+	done        time.Time
+	dispatchLag time.Duration
+}
+
+// runLatencyPoint dispatches the schedule against the server, open-loop: the
+// dispatcher sleeps to each arrival's offset and fires the query in its own
+// goroutine, so a slow (or wedged) completion never delays the next arrival.
+// The first warm arrivals are dispatched but not measured.
+func runLatencyPoint(srv latencyServer, queries []latencyQuery, sched []arrival, warm int) (timedOutcomes []pointOutcome, lagMax time.Duration) {
+	start := time.Now()
+	outs := make([]pointOutcome, len(sched))
+	var wg sync.WaitGroup
+	for i, a := range sched {
+		if d := time.Until(start.Add(a.At)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, a arrival) {
+			defer wg.Done()
+			o := &outs[i]
+			o.dispatched = time.Now()
+			o.dispatchLag = o.dispatched.Sub(start.Add(a.At))
+			q := queries[a.Query]
+			o.resp, o.err = srv.Do(serve.Request{ID: fmt.Sprintf("%s.a%d", q.ID, i), Pred: q.Pred})
+			o.done = time.Now()
+		}(i, a)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.dispatchLag > lagMax {
+			lagMax = o.dispatchLag
+		}
+	}
+	return outs[warm:], lagMax
+}
+
+// summarizePoint folds timed outcomes into the point's histograms and rates.
+func summarizePoint(p *LatencyPoint, outs []pointOutcome, lagMax time.Duration, st serve.Stats) {
+	agg := metrics.New()
+	queue := &latencyDist{hist: agg.Histogram("latency_queue_wait_ns", "")}
+	service := &latencyDist{hist: agg.Histogram("latency_service_ns", "")}
+	total := &latencyDist{hist: agg.Histogram("latency_total_ns", "")}
+	var first, last time.Time
+	done := 0
+	for _, o := range outs {
+		if o.err != nil {
+			p.Errors++
+			continue
+		}
+		if first.IsZero() || o.dispatched.Before(first) {
+			first = o.dispatched
+		}
+		if o.done.After(last) {
+			last = o.done
+		}
+		done++
+		queue.observe(o.resp.QueueWait)
+		service.observe(o.resp.Service)
+		total.observe(o.done.Sub(o.dispatched))
+	}
+	if span := last.Sub(first); span > 0 && done > 0 {
+		p.AchievedQPS = float64(done) / span.Seconds()
+	}
+	p.DispatchLagMaxMS = float64(lagMax) / float64(time.Millisecond)
+	p.QueueWait = queue.quantiles()
+	p.Service = service.quantiles()
+	p.Total = total.quantiles()
+	p.PlanHits, p.PlanMisses = st.PlanHits, st.PlanMisses
+	p.ScoreHits, p.ScoreEvals = st.ScoreHits, st.ScoreMisses
+	p.PlanDemotions, p.PlanPromotions = st.PlanDemotions, st.PlanPromotions
+}
+
+// noPPBuilder drops the injected filter, so the plan always runs the full
+// UDF pipeline — the NoP baseline behind the same serving path.
+type noPPBuilder struct{ inner serve.QueryBuilder }
+
+func (b noPPBuilder) UDFCost(pred query.Pred) (float64, error) { return b.inner.UDFCost(pred) }
+func (b noPPBuilder) Build(pred query.Pred, _ engine.BlobFilter) (engine.Plan, error) {
+	return b.inner.Build(pred, nil)
+}
+
+// maxLatencyQPS caps offered rates: past this the scheduler fights sleep
+// granularity instead of measuring the server.
+const maxLatencyQPS = 5000
+
+// RunLatency calibrates base service time, sweeps arrival rate ×
+// MaxConcurrent for the PP-injected server, compares serving variants at a
+// reference point, and returns the JSON document plus a rendered report.
+func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
+	const accuracy = 0.95
+	warm := cfg.scale(60, 24)
+	timed := cfg.scale(200, 80)
+
+	h, err := NewTrafficHarness(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := make([]latencyQuery, len(TRAF20))
+	for i, q := range TRAF20 {
+		pred, err := query.Parse(q.Pred)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: latency workload %s (%q): %w", q.ID, q.Pred, err)
+		}
+		queries[i] = latencyQuery{ID: q.ID, Pred: pred}
+	}
+
+	newServer := func(conc int, disableCache, noPP bool) (*serve.Server, error) {
+		var b serve.QueryBuilder = trafficBuilder{h}
+		if noPP {
+			b = noPPBuilder{b}
+		}
+		return serve.New(serve.Config{
+			Optimizer:         h.Opt,
+			Builder:           b,
+			Accuracy:          accuracy,
+			Domains:           data.TrafficDomains(),
+			MaxConcurrent:     conc,
+			Exec:              engine.Config{Workers: 1},
+			DisableScoreCache: disableCache,
+			Metrics:           cfg.Metrics,
+			Obs:               cfg.Obs,
+		})
+	}
+
+	// Calibration: mean warm single-session service time of the PP variant,
+	// measured sequentially so no queueing pollutes it. Offered rates are
+	// expressed as utilization × conc / baseService, which keeps the sweep
+	// meaningful across machines of different speeds.
+	cal, err := newServer(1, false, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var calSum time.Duration
+	for pass := 0; pass < 2; pass++ { // pass 0 warms plan+score caches
+		calSum = 0
+		for _, q := range queries {
+			resp, err := cal.Do(serve.Request{ID: q.ID, Pred: q.Pred})
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: latency calibration %s: %w", q.ID, err)
+			}
+			calSum += resp.Service
+		}
+	}
+	baseService := calSum / time.Duration(len(queries))
+	if baseService <= 0 {
+		baseService = time.Microsecond
+	}
+
+	// Nominal capacity is min(conc, GOMAXPROCS)/baseService: admission slots
+	// beyond the machine's parallelism add queueing, not throughput.
+	rateFor := func(util float64, conc int) float64 {
+		par := conc
+		if mp := runtime.GOMAXPROCS(0); par > mp {
+			par = mp
+		}
+		qps := util * float64(par) / baseService.Seconds()
+		return math.Min(qps, maxLatencyQPS)
+	}
+
+	runPoint := func(mode string, util float64, conc int, poisson, disableCache, noPP bool, seedSalt uint64) (LatencyPoint, error) {
+		srv, err := newServer(conc, disableCache, noPP)
+		if err != nil {
+			return LatencyPoint{}, err
+		}
+		qps := rateFor(util, conc)
+		arrivals := "fixed"
+		if poisson {
+			arrivals = "poisson"
+		}
+		p := LatencyPoint{
+			Mode: mode, Arrivals: arrivals,
+			OfferedQPS: qps, Utilization: util, MaxConcurrent: conc,
+			Warmup: warm, Timed: timed,
+		}
+		sched := latencySchedule(warm, timed, qps, poisson, len(queries), mathx.NewRNG(cfg.Seed^(uint64(conc)<<8)^seedSalt))
+		outs, lagMax := runLatencyPoint(srv, queries, sched, warm)
+		summarizePoint(&p, outs, lagMax, srv.Stats())
+		if p.Errors > 0 {
+			return p, fmt.Errorf("bench: latency point %s u=%.2f c=%d: %d sessions failed", mode, util, conc, p.Errors)
+		}
+		return p, nil
+	}
+
+	doc := &LatencyDoc{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		Queries:       len(queries),
+		BaseServiceMS: float64(baseService) / float64(time.Millisecond),
+	}
+
+	// Sweep: low vs overload utilization × narrow vs wide admission, all on
+	// the production configuration (PP + score cache), Poisson arrivals.
+	for _, util := range []float64{0.3, 1.2} {
+		for _, conc := range []int{2, 8} {
+			p, err := runPoint("pp", util, conc, true, false, false, 0x11)
+			if err != nil {
+				return nil, nil, err
+			}
+			doc.Points = append(doc.Points, p)
+		}
+	}
+
+	// Variants: same offered load (rates calibrated against the PP server's
+	// service time), fixed-rate arrivals so the three runs see identical
+	// schedules up to the query mix RNG.
+	const varUtil, varConc = 0.5, 4
+	ppVar, err := runPoint("pp", varUtil, varConc, false, false, false, 0x22)
+	if err != nil {
+		return nil, nil, err
+	}
+	nocache, err := runPoint("pp-nocache", varUtil, varConc, false, true, false, 0x22)
+	if err != nil {
+		return nil, nil, err
+	}
+	nop, err := runPoint("nop", varUtil, varConc, false, false, true, 0x22)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc.Variants = []LatencyPoint{ppVar, nocache, nop}
+	if ppVar.Total.P50MS > 0 {
+		doc.NoPOverPPTotalP50 = nop.Total.P50MS / ppVar.Total.P50MS
+	}
+	if ppVar.Service.P50MS > 0 {
+		doc.CacheOffOverOnServiceP50 = nocache.Service.P50MS / ppVar.Service.P50MS
+	}
+
+	minUtil := math.Inf(1)
+	for _, p := range doc.Points {
+		minUtil = math.Min(minUtil, p.Utilization)
+	}
+	for _, p := range doc.Points {
+		if p.Utilization != minUtil || p.OfferedQPS == 0 {
+			continue
+		}
+		if r := p.AchievedQPS / p.OfferedQPS; r > doc.LowPointAchievedOverOffered {
+			doc.LowPointAchievedOverOffered = r
+			doc.LowPointQueueP50MS = p.QueueWait.P50MS
+			doc.LowPointServiceP50MS = p.Service.P50MS
+		}
+	}
+
+	rep := &Report{ID: "latency", Title: fmt.Sprintf(
+		"Open-loop wall-clock latency: %d timed arrivals/point over %d queries, base service %.2f ms",
+		timed, len(queries), doc.BaseServiceMS)}
+	tb := &table{header: []string{"mode", "arrivals", "util", "conc", "offered qps", "achieved", "queue p50/p99 ms", "service p50/p99 ms", "total p99 ms"}}
+	addRow := func(p LatencyPoint) {
+		tb.add(p.Mode, p.Arrivals, f2(p.Utilization), fmt.Sprintf("%d", p.MaxConcurrent),
+			f1(p.OfferedQPS), f1(p.AchievedQPS),
+			fmt.Sprintf("%.2f/%.2f", p.QueueWait.P50MS, p.QueueWait.P99MS),
+			fmt.Sprintf("%.2f/%.2f", p.Service.P50MS, p.Service.P99MS),
+			fmt.Sprintf("%.2f", p.Total.P99MS))
+	}
+	for _, p := range doc.Points {
+		addRow(p)
+	}
+	for _, p := range doc.Variants {
+		addRow(p)
+	}
+	rep.Lines = tb.render()
+	rep.Lines = append(rep.Lines, "",
+		fmt.Sprintf("latency gap at u=%.1f c=%d: NoP/PP total p50 = %.2fx, cache-off/on service p50 = %.2fx",
+			varUtil, varConc, doc.NoPOverPPTotalP50, doc.CacheOffOverOnServiceP50))
+	rep.metric("base_service_ms", doc.BaseServiceMS)
+	rep.metric("nop_over_pp_total_p50", doc.NoPOverPPTotalP50)
+	rep.metric("cacheoff_over_on_service_p50", doc.CacheOffOverOnServiceP50)
+	rep.metric("low_point_achieved_over_offered", doc.LowPointAchievedOverOffered)
+	rep.metric("low_point_queue_p50_ms", doc.LowPointQueueP50MS)
+	return doc, rep, nil
+}
+
+// Latency is the registry wrapper: it runs the sweep and returns just the
+// report (cmd/ppbench -latency also writes the JSON document).
+func Latency(cfg Config) (*Report, error) {
+	_, rep, err := RunLatency(cfg)
+	return rep, err
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"probpred/internal/mathx"
+	"probpred/internal/query"
+	"probpred/internal/serve"
+)
+
+// TestLatencyScheduleDeterministic: the arrival schedule and query mix are a
+// pure function of the spec and seed. Wall-clock latencies vary run to run;
+// the offered load must not.
+func TestLatencyScheduleDeterministic(t *testing.T) {
+	const warm, timed, mix = 24, 40, 20
+	mk := func(seed uint64, poisson bool) []arrival {
+		return latencySchedule(warm, timed, 100, poisson, mix, mathx.NewRNG(seed))
+	}
+	for _, poisson := range []bool{false, true} {
+		a, b := mk(7, poisson), mk(7, poisson)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("poisson=%v: same seed produced different schedules", poisson)
+		}
+		if len(a) != warm+timed {
+			t.Fatalf("schedule has %d arrivals, want %d", len(a), warm+timed)
+		}
+		for i, ar := range a {
+			if i > 0 && ar.At <= a[i-1].At {
+				t.Fatalf("poisson=%v: arrival %d offset %v not after %v", poisson, i, ar.At, a[i-1].At)
+			}
+			if ar.Query < 0 || ar.Query >= mix {
+				t.Fatalf("arrival %d query index %d outside mix of %d", i, ar.Query, mix)
+			}
+			// The warm prefix covers the mix round-robin so every distinct
+			// query is planned before measurement starts.
+			if i < warm && ar.Query != i%mix {
+				t.Fatalf("poisson=%v: warm arrival %d queries %d, want round-robin %d", poisson, i, ar.Query, i%mix)
+			}
+		}
+	}
+	// Different seeds move Poisson arrival times and the timed query mix.
+	if reflect.DeepEqual(mk(7, true), mk(8, true)) {
+		t.Error("different seeds produced identical Poisson schedules")
+	}
+	// Fixed-rate arrival times are seed-independent (only the mix is drawn).
+	f1, f2 := mk(7, false), mk(8, false)
+	for i := range f1 {
+		if f1[i].At != f2[i].At {
+			t.Fatalf("fixed-rate arrival %d moved with the seed: %v vs %v", i, f1[i].At, f2[i].At)
+		}
+	}
+}
+
+// stubDoer is a latencyServer whose sessions park until released, for
+// proving the generator never waits on completions.
+type stubDoer struct {
+	mu          sync.Mutex
+	inflight    int
+	maxInflight int
+	release     chan struct{}
+}
+
+func (s *stubDoer) Do(req serve.Request) (*serve.Response, error) {
+	s.mu.Lock()
+	s.inflight++
+	if s.inflight > s.maxInflight {
+		s.maxInflight = s.inflight
+	}
+	s.mu.Unlock()
+	<-s.release
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+	return &serve.Response{ID: req.ID}, nil
+}
+
+func (s *stubDoer) Stats() serve.Stats { return serve.Stats{} }
+
+// TestLatencyOpenLoopArrivals: every scheduled arrival is dispatched while
+// zero queries have completed — the arrival schedule is independent of
+// completion times, which is the open-loop property (a closed loop would
+// stall after the first in-flight query).
+func TestLatencyOpenLoopArrivals(t *testing.T) {
+	stub := &stubDoer{release: make(chan struct{})}
+	queries := []latencyQuery{{ID: "Q", Pred: query.MustParse("t=SUV")}}
+	const n = 6
+	sched := latencySchedule(0, n, 500, false, 1, mathx.NewRNG(1)) // 2ms apart
+	done := make(chan struct{})
+	var outs []pointOutcome
+	go func() {
+		outs, _ = runLatencyPoint(stub, queries, sched, 0)
+		close(done)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stub.mu.Lock()
+		m := stub.maxInflight
+		stub.mu.Unlock()
+		if m == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("generator throttled arrivals on completions: %d of %d in flight", m, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stub.release)
+	<-done
+	if len(outs) != n {
+		t.Fatalf("got %d timed outcomes, want %d", len(outs), n)
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("outcome %d: %v", i, o.err)
+		}
+	}
+}
+
+// TestLatencySummarize: the point summarizer turns outcomes into sane
+// rates and histogram quantiles, counts errors, and carries server stats.
+func TestLatencySummarize(t *testing.T) {
+	base := time.Unix(1000, 0)
+	const gap = 10 * time.Millisecond
+	const svc = 5 * time.Millisecond
+	var outs []pointOutcome
+	for i := 0; i < 10; i++ {
+		d := base.Add(time.Duration(i) * gap)
+		outs = append(outs, pointOutcome{
+			resp:       &serve.Response{QueueWait: 0, Service: svc},
+			dispatched: d,
+			done:       d.Add(svc),
+		})
+	}
+	outs = append(outs, pointOutcome{err: errStub})
+	var p LatencyPoint
+	summarizePoint(&p, outs, 2*time.Millisecond, serve.Stats{PlanHits: 3, ScoreMisses: 9})
+	if p.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", p.Errors)
+	}
+	// 10 completions over 9 gaps + one service tail = 95ms ≈ 105 qps.
+	if p.AchievedQPS < 90 || p.AchievedQPS > 120 {
+		t.Errorf("AchievedQPS = %v, want ~105", p.AchievedQPS)
+	}
+	// Log-bucketed quantile of a constant 5ms population: within one bucket
+	// (≤19% relative error) above the true value.
+	if p.Service.P50MS < 4 || p.Service.P50MS > 6.2 {
+		t.Errorf("Service.P50MS = %v, want ≈5 (one bucket of slack)", p.Service.P50MS)
+	}
+	if p.QueueWait.P50MS > 0.001 {
+		t.Errorf("QueueWait.P50MS = %v, want ≈0", p.QueueWait.P50MS)
+	}
+	if p.Total.MaxMS < 4.9 || p.Total.MaxMS > 5.1 {
+		t.Errorf("Total.MaxMS = %v, want exactly 5", p.Total.MaxMS)
+	}
+	if p.DispatchLagMaxMS != 2 {
+		t.Errorf("DispatchLagMaxMS = %v, want 2", p.DispatchLagMaxMS)
+	}
+	if p.PlanHits != 3 || p.ScoreEvals != 9 {
+		t.Errorf("stats not carried: hits=%d evals=%d", p.PlanHits, p.ScoreEvals)
+	}
+}
+
+var errStub = errStubT{}
+
+type errStubT struct{}
+
+func (errStubT) Error() string { return "stub failure" }

@@ -30,6 +30,7 @@ var Experiments = map[string]Runner{
 	"hotpath":         Hotpath,
 	"serve":           Serve,
 	"adapt":           Adaptive,
+	"latency":         Latency,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -39,7 +40,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
-	"faults", "hotpath", "serve", "adapt",
+	"faults", "hotpath", "serve", "adapt", "latency",
 }
 
 // Run executes one experiment by id.

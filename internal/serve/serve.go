@@ -16,11 +16,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"probpred/internal/adapt"
 	"probpred/internal/engine"
@@ -53,7 +55,9 @@ type Config struct {
 	// Builder assembles executable plans. Required.
 	Builder QueryBuilder
 	// Accuracy is the default query-wide accuracy target for requests that
-	// do not set their own. Zero selects 1 (no false negatives).
+	// do not set their own. The accepted range is [0,1]: zero is explicitly
+	// the "unset" value and selects 1 (no false negatives); anything
+	// negative or above 1 is rejected by New.
 	Accuracy float64
 	// Domains maps columns to finite value domains for the optimizer's
 	// wrangler rewrites. Optional.
@@ -102,11 +106,11 @@ func (c *Config) fill() error {
 	if c.Builder == nil {
 		return fmt.Errorf("serve: Config.Builder is required")
 	}
+	if c.Accuracy < 0 || c.Accuracy > 1 {
+		return fmt.Errorf("serve: accuracy target %v outside [0,1] (zero selects 1: no false negatives)", c.Accuracy)
+	}
 	if c.Accuracy == 0 {
 		c.Accuracy = 1
-	}
-	if c.Accuracy < 0 || c.Accuracy > 1 {
-		return fmt.Errorf("serve: accuracy target %v outside (0,1]", c.Accuracy)
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -136,6 +140,8 @@ type Request struct {
 	// Pred is the query predicate.
 	Pred query.Pred
 	// Accuracy overrides the server's default accuracy target when non-zero.
+	// Values outside [0,1] are rejected (zero means "use the server
+	// default").
 	Accuracy float64
 }
 
@@ -155,6 +161,12 @@ type Response struct {
 	// Adapt reports what mid-query re-optimization did during the session.
 	// Nil when the server has no adapt controller configured.
 	Adapt *adapt.Report
+	// QueueWait is the enqueue→admit wall time: how long the session waited
+	// for an execution slot behind the admission semaphore.
+	QueueWait time.Duration
+	// Service is the admit→done wall time: planning (or plan-cache lookup)
+	// plus execution.
+	Service time.Duration
 }
 
 // Stats is a point-in-time snapshot of the server's cache and session
@@ -214,16 +226,24 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Do runs one query session: admission, plan-cache resolution (searching on
-// miss), execution. Blocks while the server is at MaxConcurrent.
+// miss), execution. Blocks while the server is at MaxConcurrent. The
+// enqueue→admit (semaphore wait) and admit→done (execution) wall times land
+// in the serve_admission_wait_ns / serve_service_ns histograms and on the
+// Response, so callers and /metrics see the same queue-wait vs service-time
+// split.
 func (s *Server) Do(req Request) (*Response, error) {
 	reg := s.cfg.Metrics
+	enqueued := time.Now()
 	if reg != nil {
 		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(1)
 	}
 	s.sem <- struct{}{}
+	admitted := time.Now()
 	if reg != nil {
 		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(-1)
 		reg.Gauge("serve_active_sessions", "Sessions currently executing.").Add(1)
+		reg.Histogram("serve_admission_wait_ns", "Wall nanoseconds a session waited for an execution slot (enqueue to admit).").
+			Observe(float64(admitted.Sub(enqueued)))
 	}
 	defer func() {
 		<-s.sem
@@ -243,6 +263,15 @@ func (s *Server) Do(req Request) (*Response, error) {
 		span.SetAttr("error", err.Error())
 	}
 	s.cfg.Obs.End(&span)
+	service := time.Since(admitted)
+	if reg != nil {
+		reg.Histogram("serve_service_ns", "Wall nanoseconds a session spent executing (admit to done).").
+			Observe(float64(service))
+	}
+	if resp != nil {
+		resp.QueueWait = admitted.Sub(enqueued)
+		resp.Service = service
+	}
 	s.emitSessionMetrics(resp, err)
 	return resp, err
 }
@@ -252,6 +281,12 @@ func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
 		return nil, fmt.Errorf("serve: request %q has no predicate", req.ID)
 	}
 	accuracy := req.Accuracy
+	if accuracy < 0 || accuracy > 1 {
+		// Reject before the value reaches the optimizer or the plan-cache
+		// key: a bad accuracy would otherwise be baked into a cached plan and
+		// served to every later request with the same spelling.
+		return nil, fmt.Errorf("serve: request %q accuracy %v outside [0,1] (zero selects the server default)", req.ID, accuracy)
+	}
 	if accuracy == 0 {
 		accuracy = s.cfg.Accuracy
 	}
@@ -428,9 +463,10 @@ type WorkloadQuery struct {
 }
 
 // Replay parses and serves a workload at the given concurrency, returning
-// responses in workload order regardless of completion order. The first
-// error aborts remaining queries on that worker but in-flight queries
-// complete; responses for failed or unstarted queries are nil.
+// responses in workload order regardless of completion order. Replay runs to
+// completion: a failed query (parse error or Do error) never aborts the
+// remaining queries, its response slot stays nil, and every failure is
+// aggregated — per-query-labeled — into the returned error (errors.Join).
 func (s *Server) Replay(workload []WorkloadQuery, concurrency int) ([]*Response, error) {
 	if concurrency < 1 {
 		concurrency = 1
@@ -459,10 +495,11 @@ func (s *Server) Replay(workload []WorkloadQuery, concurrency int) ([]*Response,
 		}()
 	}
 	wg.Wait()
+	var failed []error
 	for i, err := range errs {
 		if err != nil {
-			return out, fmt.Errorf("query %s: %w", workload[i].ID, err)
+			failed = append(failed, fmt.Errorf("query %s: %w", workload[i].ID, err))
 		}
 	}
-	return out, nil
+	return out, errors.Join(failed...)
 }
