@@ -6,7 +6,7 @@
 //	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
 //	        [-json BENCH_pp.json] [-hotpath BENCH_hotpath.json]
 //	        [-serve BENCH_serve.json] [-adaptive BENCH_adaptive.json]
-//	        [-latency BENCH_latency.json]
+//	        [-latency BENCH_latency.json] [-shard BENCH_shard.json]
 //	        [-pprof localhost:6060] [-metrics localhost:9090] [-hold]
 //
 // The experiment ids match DESIGN.md's per-experiment index. Output of a
@@ -47,6 +47,7 @@ func main() {
 	servePath := flag.String("serve", "", "replay the TRAF20 workload through the serving layer (score cache off vs on) and write BENCH_serve.json to this path")
 	adaptivePath := flag.String("adaptive", "", "run a drifted stream with and without mid-query re-optimization and write BENCH_adaptive.json to this path")
 	latencyPath := flag.String("latency", "", "drive the serving layer with an open-loop load generator (rate x concurrency sweep, PP on/off variants) and write BENCH_latency.json to this path")
+	shardPath := flag.String("shard", "", "run the sharded scatter-gather determinism checks and throughput sweep and write BENCH_shard.json to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:9090) while running")
 	hold := flag.Bool("hold", false, "with -metrics or -pprof: keep serving after experiments finish, until interrupted")
@@ -159,6 +160,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote latency report to %s\n", *latencyPath)
+		return
+	}
+	if *shardPath != "" {
+		doc, rep, err := bench.RunShard(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		f, err := os.Create(*shardPath)
+		if err == nil {
+			err = doc.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote shard report to %s\n", *shardPath)
 		return
 	}
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -183,9 +184,14 @@ type LatencyDoc struct {
 	// NoPOverPPTotalP50 is the end-to-end latency gap PP injection buys:
 	// the no-PP variant's total p50 over the PP variant's, same offered
 	// load. CacheOffOverOnServiceP50 is the same ratio for disabling the
-	// score cache.
+	// score cache, and CostGateOverOnServiceP50 for the cost-gated cache
+	// (cheap PPs recompute, expensive PPs stay cached).
 	NoPOverPPTotalP50        float64 `json:"nop_over_pp_total_p50"`
 	CacheOffOverOnServiceP50 float64 `json:"cacheoff_over_on_service_p50"`
+	CostGateOverOnServiceP50 float64 `json:"costgate_over_on_service_p50"`
+
+	// AutoTune is the MaxConcurrent recommendation derived from the sweep.
+	AutoTune AutoTune `json:"auto_tune"`
 
 	// Low-rate sanity, the CI gate's inputs: among the lowest-utilization
 	// sweep points, the one delivering the highest achieved/offered ratio
@@ -280,6 +286,83 @@ func summarizePoint(p *LatencyPoint, outs []pointOutcome, lagMax time.Duration, 
 	p.PlanDemotions, p.PlanPromotions = st.PlanDemotions, st.PlanPromotions
 }
 
+// AutoTuneCandidate is one admission width considered by the auto-tuner.
+type AutoTuneCandidate struct {
+	MaxConcurrent int     `json:"max_concurrent"`
+	Utilization   float64 `json:"utilization"`
+	TotalP99MS    float64 `json:"total_p99_ms"`
+	Met           bool    `json:"met"`
+}
+
+// AutoTune is the provisioning recommendation: the smallest MaxConcurrent
+// whose sweep point met the p99 SLO at the provisioning (lowest) utilization.
+type AutoTune struct {
+	// SLOP99MS is the target: latencySLOFactor × calibrated base service.
+	SLOP99MS float64 `json:"slo_p99_ms"`
+	// Utilization is the provisioning utilization the candidates come from.
+	Utilization float64 `json:"utilization"`
+	// RecommendedMaxConcurrent is the smallest admission width meeting the
+	// SLO; if none did (Met=false), the width with the lowest p99.
+	RecommendedMaxConcurrent int  `json:"recommended_max_concurrent"`
+	Met                      bool `json:"met"`
+
+	Candidates []AutoTuneCandidate `json:"candidates"`
+}
+
+// latencySLOFactor scales the calibrated base service time into the p99 SLO
+// target the auto-tuner provisions for. Generous on purpose: at low
+// utilization an adequately-wide admission gate keeps p99 near base service,
+// while an over-narrow gate queues arrival bursts into multiples of it.
+const latencySLOFactor = 20
+
+// autoTuneMaxConcurrent picks the smallest MaxConcurrent meeting the p99 SLO
+// among the sweep points at the lowest swept utilization — the provisioning
+// question ("how narrow can admission be and still meet the SLO at planned
+// load?") asked of data the sweep already paid for. Wider admission costs
+// memory and risks cache-thrash; narrower queues bursts; smallest-that-meets
+// is the standard resolution.
+func autoTuneMaxConcurrent(points []LatencyPoint, sloMS float64) AutoTune {
+	at := AutoTune{SLOP99MS: sloMS, Utilization: math.Inf(1)}
+	for _, p := range points {
+		at.Utilization = math.Min(at.Utilization, p.Utilization)
+	}
+	for _, p := range points {
+		if p.Utilization != at.Utilization {
+			continue
+		}
+		at.Candidates = append(at.Candidates, AutoTuneCandidate{
+			MaxConcurrent: p.MaxConcurrent,
+			Utilization:   p.Utilization,
+			TotalP99MS:    p.Total.P99MS,
+			Met:           p.Total.P99MS <= sloMS,
+		})
+	}
+	sort.Slice(at.Candidates, func(i, j int) bool {
+		return at.Candidates[i].MaxConcurrent < at.Candidates[j].MaxConcurrent
+	})
+	best := -1
+	for i, c := range at.Candidates {
+		if c.Met {
+			at.RecommendedMaxConcurrent = c.MaxConcurrent
+			at.Met = true
+			return at
+		}
+		if best < 0 || c.TotalP99MS < at.Candidates[best].TotalP99MS {
+			best = i
+		}
+	}
+	if best >= 0 {
+		at.RecommendedMaxConcurrent = at.Candidates[best].MaxConcurrent
+	}
+	return at
+}
+
+// costGateThreshold is the ScoreCacheMinCost of the "pp-costgate" variant:
+// above an SVM-backed PP (~0.5 vms) so cheap scores recompute instead of
+// paying cache lock+map traffic, below KDE (≥1 vms) and DNN (≥2 vms) PPs,
+// which keep the cache.
+const costGateThreshold = 1.0
+
 // noPPBuilder drops the injected filter, so the plan always runs the full
 // UDF pipeline — the NoP baseline behind the same serving path.
 type noPPBuilder struct{ inner serve.QueryBuilder }
@@ -314,7 +397,7 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 		queries[i] = latencyQuery{ID: q.ID, Pred: pred}
 	}
 
-	newServer := func(conc int, disableCache, noPP bool) (*serve.Server, error) {
+	newServer := func(conc int, disableCache, noPP bool, minScoreCost float64) (*serve.Server, error) {
 		var b serve.QueryBuilder = trafficBuilder{h}
 		if noPP {
 			b = noPPBuilder{b}
@@ -327,6 +410,7 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 			MaxConcurrent:     conc,
 			Exec:              engine.Config{Workers: 1},
 			DisableScoreCache: disableCache,
+			ScoreCacheMinCost: minScoreCost,
 			Metrics:           cfg.Metrics,
 			Obs:               cfg.Obs,
 		})
@@ -336,7 +420,7 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 	// measured sequentially so no queueing pollutes it. Offered rates are
 	// expressed as utilization × conc / baseService, which keeps the sweep
 	// meaningful across machines of different speeds.
-	cal, err := newServer(1, false, false)
+	cal, err := newServer(1, false, false, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -367,8 +451,8 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 		return math.Min(qps, maxLatencyQPS)
 	}
 
-	runPoint := func(mode string, util float64, conc int, poisson, disableCache, noPP bool, seedSalt uint64) (LatencyPoint, error) {
-		srv, err := newServer(conc, disableCache, noPP)
+	runPoint := func(mode string, util float64, conc int, poisson, disableCache, noPP bool, minScoreCost float64, seedSalt uint64) (LatencyPoint, error) {
+		srv, err := newServer(conc, disableCache, noPP, minScoreCost)
 		if err != nil {
 			return LatencyPoint{}, err
 		}
@@ -407,7 +491,7 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 	// the production configuration (PP + score cache), Poisson arrivals.
 	for _, util := range []float64{0.3, 1.2} {
 		for _, conc := range []int{2, 8} {
-			p, err := runPoint("pp", util, conc, true, false, false, 0x11)
+			p, err := runPoint("pp", util, conc, true, false, false, 0, 0x11)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -419,25 +503,31 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 	// service time), fixed-rate arrivals so the three runs see identical
 	// schedules up to the query mix RNG.
 	const varUtil, varConc = 0.5, 4
-	ppVar, err := runPoint("pp", varUtil, varConc, false, false, false, 0x22)
+	ppVar, err := runPoint("pp", varUtil, varConc, false, false, false, 0, 0x22)
 	if err != nil {
 		return nil, nil, err
 	}
-	nocache, err := runPoint("pp-nocache", varUtil, varConc, false, true, false, 0x22)
+	nocache, err := runPoint("pp-nocache", varUtil, varConc, false, true, false, 0, 0x22)
 	if err != nil {
 		return nil, nil, err
 	}
-	nop, err := runPoint("nop", varUtil, varConc, false, false, true, 0x22)
+	costgate, err := runPoint("pp-costgate", varUtil, varConc, false, false, false, costGateThreshold, 0x22)
 	if err != nil {
 		return nil, nil, err
 	}
-	doc.Variants = []LatencyPoint{ppVar, nocache, nop}
+	nop, err := runPoint("nop", varUtil, varConc, false, false, true, 0, 0x22)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc.Variants = []LatencyPoint{ppVar, nocache, costgate, nop}
 	if ppVar.Total.P50MS > 0 {
 		doc.NoPOverPPTotalP50 = nop.Total.P50MS / ppVar.Total.P50MS
 	}
 	if ppVar.Service.P50MS > 0 {
 		doc.CacheOffOverOnServiceP50 = nocache.Service.P50MS / ppVar.Service.P50MS
+		doc.CostGateOverOnServiceP50 = costgate.Service.P50MS / ppVar.Service.P50MS
 	}
+	doc.AutoTune = autoTuneMaxConcurrent(doc.Points, latencySLOFactor*doc.BaseServiceMS)
 
 	minUtil := math.Inf(1)
 	for _, p := range doc.Points {
@@ -473,9 +563,12 @@ func RunLatency(cfg Config) (*LatencyDoc, *Report, error) {
 	}
 	rep.Lines = tb.render()
 	rep.Lines = append(rep.Lines, "",
-		fmt.Sprintf("latency gap at u=%.1f c=%d: NoP/PP total p50 = %.2fx, cache-off/on service p50 = %.2fx",
-			varUtil, varConc, doc.NoPOverPPTotalP50, doc.CacheOffOverOnServiceP50))
+		fmt.Sprintf("latency gap at u=%.1f c=%d: NoP/PP total p50 = %.2fx, cache-off/on service p50 = %.2fx, cost-gate/on service p50 = %.2fx",
+			varUtil, varConc, doc.NoPOverPPTotalP50, doc.CacheOffOverOnServiceP50, doc.CostGateOverOnServiceP50),
+		fmt.Sprintf("auto-tune: MaxConcurrent=%d for p99 SLO %.2f ms at u=%.2f (met: %v)",
+			doc.AutoTune.RecommendedMaxConcurrent, doc.AutoTune.SLOP99MS, doc.AutoTune.Utilization, doc.AutoTune.Met))
 	rep.metric("base_service_ms", doc.BaseServiceMS)
+	rep.metric("auto_tune_max_concurrent", float64(doc.AutoTune.RecommendedMaxConcurrent))
 	rep.metric("nop_over_pp_total_p50", doc.NoPOverPPTotalP50)
 	rep.metric("cacheoff_over_on_service_p50", doc.CacheOffOverOnServiceP50)
 	rep.metric("low_point_achieved_over_offered", doc.LowPointAchievedOverOffered)

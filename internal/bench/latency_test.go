@@ -168,3 +168,44 @@ var errStub = errStubT{}
 type errStubT struct{}
 
 func (errStubT) Error() string { return "stub failure" }
+
+// TestAutoTuneMaxConcurrent: the tuner considers only the lowest swept
+// utilization (the provisioning point), recommends the smallest admission
+// width meeting the p99 SLO, and falls back to the best-p99 width when
+// nothing meets it.
+func TestAutoTuneMaxConcurrent(t *testing.T) {
+	pt := func(util float64, conc int, p99 float64) LatencyPoint {
+		return LatencyPoint{Utilization: util, MaxConcurrent: conc,
+			Total: LatencyQuantiles{P99MS: p99}}
+	}
+
+	// conc=2 misses the SLO at low util, conc=4 and 8 meet it: pick 4, the
+	// smallest that meets. Overload points (util 1.2) must be ignored even
+	// though their p99s are terrible.
+	at := autoTuneMaxConcurrent([]LatencyPoint{
+		pt(0.3, 8, 10), pt(0.3, 2, 80), pt(0.3, 4, 12),
+		pt(1.2, 2, 900), pt(1.2, 8, 700),
+	}, 50)
+	if !at.Met || at.RecommendedMaxConcurrent != 4 {
+		t.Errorf("recommended %d (met=%v), want 4 (met)", at.RecommendedMaxConcurrent, at.Met)
+	}
+	if at.Utilization != 0.3 {
+		t.Errorf("provisioning utilization = %v, want 0.3", at.Utilization)
+	}
+	if len(at.Candidates) != 3 {
+		t.Fatalf("%d candidates, want 3 (low-util points only)", len(at.Candidates))
+	}
+	for i := 1; i < len(at.Candidates); i++ {
+		if at.Candidates[i].MaxConcurrent < at.Candidates[i-1].MaxConcurrent {
+			t.Fatal("candidates not sorted by MaxConcurrent")
+		}
+	}
+
+	// Nothing meets a 5ms SLO: fall back to the lowest-p99 width, Met=false.
+	at = autoTuneMaxConcurrent([]LatencyPoint{
+		pt(0.3, 2, 80), pt(0.3, 8, 10),
+	}, 5)
+	if at.Met || at.RecommendedMaxConcurrent != 8 {
+		t.Errorf("fallback recommended %d (met=%v), want 8 (not met)", at.RecommendedMaxConcurrent, at.Met)
+	}
+}

@@ -31,6 +31,7 @@ var Experiments = map[string]Runner{
 	"serve":           Serve,
 	"adapt":           Adaptive,
 	"latency":         Latency,
+	"shard":           Shard,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -40,7 +41,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
-	"faults", "hotpath", "serve", "adapt", "latency",
+	"faults", "hotpath", "serve", "adapt", "latency", "shard",
 }
 
 // Run executes one experiment by id.

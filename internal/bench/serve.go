@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"probpred/internal/blob"
 	"probpred/internal/data"
 	"probpred/internal/engine"
 	"probpred/internal/query"
@@ -79,9 +80,11 @@ func (d *ServeDoc) Write(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// trafficBuilder adapts the traffic harness to serve.QueryBuilder: the UDF
-// pipeline downstream of the PP is the detector plus one UDF per referenced
-// column, exactly as PPPlan assembles it.
+// trafficBuilder adapts the traffic harness to serve.QueryBuilder and
+// serve.CorpusBuilder: the UDF pipeline downstream of the PP is the detector
+// plus one UDF per referenced column, exactly as PPPlan assembles it. As a
+// CorpusBuilder the scanned blob slice is injected per call — that is what
+// the sharded coordinator partitions.
 type trafficBuilder struct{ h *TrafficHarness }
 
 func (b trafficBuilder) UDFCost(pred query.Pred) (float64, error) {
@@ -93,11 +96,15 @@ func (b trafficBuilder) UDFCost(pred query.Pred) (float64, error) {
 }
 
 func (b trafficBuilder) Build(pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
+	return b.BuildOver(b.h.TestBlobs, pred, filter)
+}
+
+func (b trafficBuilder) BuildOver(blobs []blob.Blob, pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
 	procs, err := udf.TrafficPipeline(pred, 0, b.h.seed)
 	if err != nil {
 		return engine.Plan{}, err
 	}
-	ops := []engine.Operator{&engine.Scan{Blobs: b.h.TestBlobs}}
+	ops := []engine.Operator{&engine.Scan{Blobs: blobs}}
 	if filter != nil {
 		ops = append(ops, &engine.PPFilter{F: filter})
 	}

@@ -87,7 +87,8 @@ type FlightRecorder struct {
 }
 
 // DefaultTrigger is the auto-dump predicate wired into NewFlightRecorder: a
-// failed query run, a tripped accuracy watchdog, or a mid-query plan swap.
+// failed query run, a tripped accuracy watchdog, a mid-query plan swap, or a
+// failed scatter-gather shard leg.
 func DefaultTrigger(r Record) bool {
 	if r.Span != nil && r.Span.Kind == KindRun {
 		for _, a := range r.Span.Attrs {
@@ -98,7 +99,7 @@ func DefaultTrigger(r Record) bool {
 	}
 	if r.Event != nil {
 		switch r.Event.Name {
-		case "watchdog.trip", "adapt.swap":
+		case "watchdog.trip", "adapt.swap", "shard.fail":
 			return true
 		}
 	}

@@ -53,28 +53,43 @@ func (t *cacheTally) miss(n uint64) {
 // virtual costs are identical to the uncached filter. A nil cache returns
 // the receiver unchanged.
 func (c *Compiled) WithScoreCache(cache ScoreCache) *Compiled {
+	return c.WithScoreCacheMin(cache, 0)
+}
+
+// WithScoreCacheMin is WithScoreCache with a cost-aware bypass: only leaves
+// whose estimated per-blob score cost (reducer + scorer virtual ms) is at
+// least minCost get the cache attached; cheaper leaves keep a nil cache and
+// recompute every score. For cheap scorers (an SVM dot product) the cache's
+// lock and map traffic costs more real CPU than scoring, while expensive
+// KDE/DNN PPs still win by caching — minCost is the cutover. Bypassed
+// leaves touch neither hit nor miss counters. minCost <= 0 caches every
+// leaf; results are identical either way (the cache is transparent).
+func (c *Compiled) WithScoreCacheMin(cache ScoreCache, minCost float64) *Compiled {
 	if c == nil || cache == nil {
 		return c
 	}
-	return &Compiled{name: c.name, node: cloneWithCache(c.node, cache)}
+	return &Compiled{name: c.name, node: cloneWithCache(c.node, cache, minCost)}
 }
 
-func cloneWithCache(n compiledNode, cache ScoreCache) compiledNode {
+func cloneWithCache(n compiledNode, cache ScoreCache, minCost float64) compiledNode {
 	switch v := n.(type) {
 	case *compiledLeaf:
+		if v.pp.Cost() < minCost {
+			return v // bypass: recomputing is cheaper than cache traffic
+		}
 		cp := *v
 		cp.cache = cache
 		return &cp
 	case *compiledConj:
 		kids := make([]compiledNode, len(v.kids))
 		for i, k := range v.kids {
-			kids[i] = cloneWithCache(k, cache)
+			kids[i] = cloneWithCache(k, cache, minCost)
 		}
 		return &compiledConj{kids: kids}
 	case *compiledDisj:
 		kids := make([]compiledNode, len(v.kids))
 		for i, k := range v.kids {
-			kids[i] = cloneWithCache(k, cache)
+			kids[i] = cloneWithCache(k, cache, minCost)
 		}
 		return &compiledDisj{kids: kids}
 	}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Routing decides which replica of each shard serves one scatter leg.
+// Because PP scores are pure and both caches are transparent, every replica
+// of a shard returns byte-identical results — routing never affects outputs,
+// only wall-clock latency and cache warmth. That is what makes the policy
+// pluggable: it is a pure performance knob.
+
+// RoutingPolicy names a built-in Router.
+type RoutingPolicy string
+
+const (
+	// RouteRoundRobin rotates legs through a shard's replicas in arrival
+	// order — the oblivious baseline.
+	RouteRoundRobin RoutingPolicy = "round-robin"
+	// RouteLeastLoaded sends each leg to the replica with the fewest queued
+	// plus active sessions (live Server.Load counters), ties to the lowest
+	// index.
+	RouteLeastLoaded RoutingPolicy = "least-loaded"
+	// RoutePlanAffinity hashes the session's canonical plan key, so repeat
+	// predicates land on the replica whose plan and score caches are already
+	// warm for them.
+	RoutePlanAffinity RoutingPolicy = "plan-affinity"
+)
+
+func (p RoutingPolicy) valid() bool {
+	switch p {
+	case RouteRoundRobin, RouteLeastLoaded, RoutePlanAffinity:
+		return true
+	}
+	return false
+}
+
+// Router picks the replica of one shard that serves one scatter leg. Pick is
+// called concurrently by coordinator legs and must be safe for concurrent
+// use. key is the session's canonical plan key (optimizer.PlanKey), replicas
+// the shard's replica set in index order; the returned index must be in
+// [0, len(replicas)).
+type Router interface {
+	// Name identifies the policy in metrics and reports.
+	Name() string
+	// Pick selects the serving replica for one leg of shard.
+	Pick(shard int, key string, replicas []*Server) int
+}
+
+// newRouter builds the built-in router for a policy over shards shards.
+// policy must be valid (Config.fill checked it).
+func newRouter(policy RoutingPolicy, shards int) Router {
+	switch policy {
+	case RouteLeastLoaded:
+		return leastLoadedRouter{}
+	case RoutePlanAffinity:
+		return planAffinityRouter{}
+	default:
+		return &roundRobinRouter{next: make([]atomic.Uint64, shards)}
+	}
+}
+
+// roundRobinRouter keeps one rotation counter per shard, so each shard's
+// replicas are cycled independently of how other shards route.
+type roundRobinRouter struct{ next []atomic.Uint64 }
+
+func (r *roundRobinRouter) Name() string { return string(RouteRoundRobin) }
+
+func (r *roundRobinRouter) Pick(shard int, _ string, replicas []*Server) int {
+	return int((r.next[shard].Add(1) - 1) % uint64(len(replicas)))
+}
+
+// leastLoadedRouter reads each replica's live queued+active counters at pick
+// time. The snapshot is racy by design (load moves while we read), which is
+// fine: a slightly stale pick only costs wall-clock, never correctness.
+type leastLoadedRouter struct{}
+
+func (leastLoadedRouter) Name() string { return string(RouteLeastLoaded) }
+
+func (leastLoadedRouter) Pick(_ int, _ string, replicas []*Server) int {
+	best, bestLoad := 0, int64(1<<62)
+	for i, s := range replicas {
+		q, a := s.Load()
+		if load := q + a; load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// planAffinityRouter consistently hashes the canonical plan key, so the
+// sessions that repeat a predicate all hit the one replica that has planned
+// it (warm plan cache) and scored its blobs (warm score cache), instead of
+// spreading — and re-paying — that work across every replica.
+type planAffinityRouter struct{}
+
+func (planAffinityRouter) Name() string { return string(RoutePlanAffinity) }
+
+func (planAffinityRouter) Pick(_ int, key string, replicas []*Server) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(len(replicas)))
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"probpred/internal/adapt"
+	"probpred/internal/blob"
 	"probpred/internal/engine"
 	"probpred/internal/metrics"
 	"probpred/internal/obs"
@@ -43,6 +44,39 @@ type QueryBuilder interface {
 	// right after the scan. filter is nil when the optimizer declined to
 	// inject (the plan must then run unmodified).
 	Build(pred query.Pred, filter engine.BlobFilter) (engine.Plan, error)
+}
+
+// CorpusBuilder is the engine/corpus split of QueryBuilder: plan assembly
+// with the blob corpus injected per call instead of baked into the builder.
+// It is what sharded serving composes on — the coordinator binds one builder
+// to N disjoint corpus slices, one per shard — and what later distribution
+// work (remote shards, segment-versioned corpora) reuses.
+type CorpusBuilder interface {
+	// UDFCost returns u, the per-blob virtual cost of the plan downstream of
+	// a PP for this predicate (corpus-independent).
+	UDFCost(pred query.Pred) (float64, error)
+	// BuildOver assembles the executable plan whose scan covers exactly
+	// blobs, injecting filter right after the scan (nil filter = run
+	// unmodified). Implementations must produce structurally identical plans
+	// for any slice of the same corpus — sharded results are merged
+	// positionally.
+	BuildOver(blobs []blob.Blob, pred query.Pred, filter engine.BlobFilter) (engine.Plan, error)
+}
+
+// BindCorpus fixes a CorpusBuilder to one blob slice, yielding the
+// per-server QueryBuilder a shard replica plans with.
+func BindCorpus(b CorpusBuilder, blobs []blob.Blob) QueryBuilder {
+	return boundBuilder{b: b, blobs: blobs}
+}
+
+type boundBuilder struct {
+	b     CorpusBuilder
+	blobs []blob.Blob
+}
+
+func (b boundBuilder) UDFCost(pred query.Pred) (float64, error) { return b.b.UDFCost(pred) }
+func (b boundBuilder) Build(pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
+	return b.b.BuildOver(b.blobs, pred, filter)
 }
 
 // Config configures a Server.
@@ -82,6 +116,21 @@ type Config struct {
 	// benchmark uses to measure uncached evaluation counts through identical
 	// code paths.
 	DisableScoreCache bool
+	// ScoreCacheMinCost gates score-cache use per PP: leaves whose estimated
+	// per-blob score cost (reducer + scorer virtual ms) is below the
+	// threshold bypass the cache entirely and recompute. The latency harness
+	// showed the cache's lock+map traffic is wall-clock slower than
+	// recomputing cheap SVM scores, while expensive KDE/DNN PPs still win by
+	// caching — this is the cost-aware cutover. Zero caches every leaf
+	// (previous behavior). Bypassed leaves move neither hit nor miss
+	// counters, so Stats.ScoreMisses keeps counting only cached-leaf
+	// evaluations.
+	ScoreCacheMinCost float64
+	// Routing selects how a sharded Coordinator picks the replica that
+	// serves each scatter leg (see NewSharded): RouteRoundRobin,
+	// RouteLeastLoaded or RoutePlanAffinity. Empty selects round-robin.
+	// Single servers ignore it.
+	Routing RoutingPolicy
 	// Adapt enables mid-query re-optimization: sessions whose plans inject a
 	// compiled PP expression execute under the controller, which watches
 	// observed selectivities against the plan's estimates, hot-swaps to a
@@ -123,6 +172,16 @@ func (c *Config) fill() error {
 	}
 	if c.ScoreCacheShards <= 0 {
 		c.ScoreCacheShards = 16
+	}
+	if c.ScoreCacheMinCost < 0 {
+		return fmt.Errorf("serve: ScoreCacheMinCost %v is negative", c.ScoreCacheMinCost)
+	}
+	if c.Routing == "" {
+		c.Routing = RouteRoundRobin
+	}
+	if !c.Routing.valid() {
+		return fmt.Errorf("serve: unknown routing policy %q (want %q, %q or %q)",
+			c.Routing, RouteRoundRobin, RouteLeastLoaded, RoutePlanAffinity)
 	}
 	if c.Exec.Obs == nil {
 		c.Exec.Obs = c.Obs
@@ -192,6 +251,11 @@ type Stats struct {
 	// maintenance: stale entries dropped mid-query and re-ordered filters
 	// installed in their place.
 	PlanDemotions, PlanPromotions uint64
+	// ScatterSessions / ScatterFailures count merged scatter-gather sessions
+	// and sessions failed by at least one shard. Zero on standalone servers;
+	// on a Coordinator, Sessions counts per-shard legs (≈ ScatterSessions ×
+	// Shards).
+	ScatterSessions, ScatterFailures uint64
 }
 
 // Server admits concurrent query sessions over a shared optimizer, plan
@@ -205,8 +269,15 @@ type Server struct {
 	sem chan struct{}
 	// optMu serializes plan searches: optimizer.Optimize mutates shared
 	// search state (negation cache, dependence map) and is not safe for
-	// concurrent use. Cached plans bypass this lock.
-	optMu sync.Mutex
+	// concurrent use. Cached plans bypass this lock. It is a pointer so a
+	// sharded Coordinator can point every replica sharing one optimizer at
+	// one lock; standalone servers own theirs.
+	optMu *sync.Mutex
+
+	// queued / active mirror the admission gauges as plain atomics, always
+	// maintained (metrics registry or not): they are the live load signal
+	// the least-loaded router reads.
+	queued, active atomic.Int64
 
 	sessions             atomic.Uint64
 	planHits, planMisses atomic.Uint64
@@ -222,7 +293,15 @@ func New(cfg Config) (*Server, error) {
 		plans:  newPlanCache(cfg.PlanCacheSize),
 		scores: newScoreCache(cfg.ScoreCacheSize, cfg.ScoreCacheShards, cfg.DisableScoreCache),
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		optMu:  &sync.Mutex{},
 	}, nil
+}
+
+// Load reports the server's live admission state: sessions waiting for a
+// slot and sessions currently executing. It is the signal load-aware routers
+// balance on.
+func (s *Server) Load() (queued, active int64) {
+	return s.queued.Load(), s.active.Load()
 }
 
 // Do runs one query session: admission, plan-cache resolution (searching on
@@ -234,11 +313,14 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Do(req Request) (*Response, error) {
 	reg := s.cfg.Metrics
 	enqueued := time.Now()
+	s.queued.Add(1)
 	if reg != nil {
 		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(1)
 	}
 	s.sem <- struct{}{}
 	admitted := time.Now()
+	s.queued.Add(-1)
+	s.active.Add(1)
 	if reg != nil {
 		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(-1)
 		reg.Gauge("serve_active_sessions", "Sessions currently executing.").Add(1)
@@ -247,6 +329,7 @@ func (s *Server) Do(req Request) (*Response, error) {
 	}
 	defer func() {
 		<-s.sem
+		s.active.Add(-1)
 		if reg != nil {
 			reg.Gauge("serve_active_sessions", "Sessions currently executing.").Add(-1)
 		}
@@ -399,8 +482,10 @@ func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string) (*pl
 	if dec.Inject {
 		// One score-cache-attached filter per entry, shared by every session
 		// that hits it — sharing is what makes cross-session score reuse
-		// work; the engine keeps per-run accounting separate.
-		e.filter = dec.Filter.WithScoreCache(s.scores)
+		// work; the engine keeps per-run accounting separate. Leaves cheaper
+		// than ScoreCacheMinCost skip the cache (recomputing beats the
+		// cache's lock+map traffic for cheap scorers).
+		e.filter = dec.Filter.WithScoreCacheMin(s.scores, s.cfg.ScoreCacheMinCost)
 	}
 	s.plans.put(e)
 	s.planMisses.Add(1)
@@ -468,6 +553,15 @@ type WorkloadQuery struct {
 // remaining queries, its response slot stays nil, and every failure is
 // aggregated — per-query-labeled — into the returned error (errors.Join).
 func (s *Server) Replay(workload []WorkloadQuery, concurrency int) ([]*Response, error) {
+	return replay(s, workload, concurrency)
+}
+
+// doer is the serving surface Replay drives: a Server or a Coordinator.
+type doer interface {
+	Do(Request) (*Response, error)
+}
+
+func replay(d doer, workload []WorkloadQuery, concurrency int) ([]*Response, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -490,7 +584,7 @@ func (s *Server) Replay(workload []WorkloadQuery, concurrency int) ([]*Response,
 					errs[i] = fmt.Errorf("serve: parse %s (%q): %w", q.ID, q.Pred, err)
 					continue
 				}
-				out[i], errs[i] = s.Do(Request{ID: q.ID, Pred: pred, Accuracy: q.Accuracy})
+				out[i], errs[i] = d.Do(Request{ID: q.ID, Pred: pred, Accuracy: q.Accuracy})
 			}
 		}()
 	}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/engine"
+	"probpred/internal/obs"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+)
+
+// miniCorpusBuilder is miniBuilder's engine/corpus split: the same
+// scan → [PP filter] → UDF → σ plan, but over an injected blob slice — what
+// the sharded coordinator binds to each shard.
+type miniCorpusBuilder struct{ udf engine.Processor }
+
+func (b miniCorpusBuilder) UDFCost(query.Pred) (float64, error) { return b.udf.Cost(), nil }
+
+func (b miniCorpusBuilder) BuildOver(blobs []blob.Blob, pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
+	ops := []engine.Operator{&engine.Scan{Blobs: blobs}}
+	if filter != nil {
+		ops = append(ops, &engine.PPFilter{F: filter})
+	}
+	ops = append(ops, &engine.Process{P: b.udf}, &engine.Select{Pred: pred})
+	return engine.Plan{Ops: ops}, nil
+}
+
+// newMiniCoordinator wires a Coordinator over the miniStack fixtures. mutate
+// adjusts the sharded config before NewSharded (nil for defaults).
+func newMiniCoordinator(t *testing.T, nBlobs, shards, replicas int, routing RoutingPolicy, mutate func(*ShardedConfig)) *Coordinator {
+	t.Helper()
+	blobs := miniBlobs(nBlobs, 7)
+	val := miniBlobs(400, 8)
+	cfg := ShardedConfig{
+		Base: Config{
+			Optimizer: optimizer.New(miniCorpus(t, val)),
+			Accuracy:  0.95,
+			Domains:   miniDomains(),
+			Exec:      engine.Config{NoStageOverhead: true},
+			Routing:   routing,
+		},
+		Shards:   shards,
+		Replicas: replicas,
+		Corpus:   blobs,
+		Builder:  miniCorpusBuilder{udf: miniUDF{cost: 40}},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSplitBlobs(t *testing.T) {
+	blobs := miniBlobs(10, 1)
+	for _, tc := range []struct {
+		n    int
+		want []int // slice lengths
+	}{
+		{1, []int{10}},
+		{2, []int{5, 5}},
+		{3, []int{4, 3, 3}},
+		{4, []int{3, 3, 2, 2}},
+		{0, []int{10}}, // n<1 selects 1
+	} {
+		got := SplitBlobs(blobs, tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("SplitBlobs(n=%d): %d slices, want %d", tc.n, len(got), len(tc.want))
+		}
+		id := 0
+		for i, slice := range got {
+			if len(slice) != tc.want[i] {
+				t.Errorf("SplitBlobs(n=%d)[%d]: len %d, want %d", tc.n, i, len(slice), tc.want[i])
+			}
+			// Contiguity: concatenating slices in order must walk blob IDs in
+			// the original order — the property the gather's determinism
+			// argument rests on.
+			for _, b := range slice {
+				if b.ID != id {
+					t.Fatalf("SplitBlobs(n=%d): blob ID %d at global position %d", tc.n, b.ID, id)
+				}
+				id++
+			}
+		}
+	}
+}
+
+// TestShardedDeterminism is the golden gate: every shard count × routing
+// policy × engine worker count must serve byte-identical results to the
+// unsharded server — rows, row order and virtual cluster cost. Run under
+// -race this also exercises the scatter paths for data races.
+func TestShardedDeterminism(t *testing.T) {
+	const nBlobs = 60
+	st := newMiniStack(t, nBlobs, nil)
+	baseResps, err := st.srv.Replay(miniWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := renderResponses(baseResps)
+	if !strings.Contains(baseline, "rows=") {
+		t.Fatalf("degenerate baseline render: %q", baseline)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, routing := range []RoutingPolicy{RouteRoundRobin, RouteLeastLoaded, RoutePlanAffinity} {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("shards=%d/%s/workers=%d", shards, routing, workers)
+				t.Run(name, func(t *testing.T) {
+					c := newMiniCoordinator(t, nBlobs, shards, 2, routing, func(cfg *ShardedConfig) {
+						cfg.Base.Exec.Workers = workers
+					})
+					resps, err := c.Replay(miniWorkload, 4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := renderResponses(resps); got != baseline {
+						t.Errorf("sharded render diverged from unsharded baseline\n got: %s\nwant: %s", got, baseline)
+					}
+					st := c.Stats()
+					if st.ScatterSessions != uint64(len(miniWorkload)) {
+						t.Errorf("ScatterSessions = %d, want %d", st.ScatterSessions, len(miniWorkload))
+					}
+					if st.ScatterFailures != 0 {
+						t.Errorf("ScatterFailures = %d, want 0", st.ScatterFailures)
+					}
+					// Every leg ran: Sessions counts per-shard legs.
+					if want := uint64(len(miniWorkload) * shards); st.Sessions != want {
+						t.Errorf("Sessions = %d, want %d (legs)", st.Sessions, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedMergeAccounting checks the merge invariants beyond the render:
+// per-operator stats sum positionally, latency is the max over parallel legs,
+// and PlanCached ANDs across legs.
+func TestShardedMergeAccounting(t *testing.T) {
+	st := newMiniStack(t, 60, nil)
+	pred := query.MustParse("t=SUV & s>60")
+	base, err := st.srv.Do(Request{ID: "Q", Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newMiniCoordinator(t, 60, 4, 1, RouteRoundRobin, nil)
+	first, err := c.Do(Request{ID: "Q", Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlanCached {
+		t.Error("first scatter session reported PlanCached; every replica planned fresh")
+	}
+	again, err := c.Do(Request{ID: "Q", Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.PlanCached {
+		t.Error("repeat scatter session not PlanCached; all legs should hit their plan caches")
+	}
+
+	if got, want := len(first.Result.PerOp), len(base.Result.PerOp); got != want {
+		t.Fatalf("merged PerOp has %d ops, want %d (same plan shape)", got, want)
+	}
+	// Virtual costs are per-row, so shard totals sum to the unsharded total;
+	// the summation is regrouped (per-shard subtotals), so allow ulp-level
+	// float noise. The byte-identical contract is the %.6f render, checked in
+	// TestShardedDeterminism.
+	closeTo := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for i, op := range first.Result.PerOp {
+		b := base.Result.PerOp[i]
+		if op.Name != b.Name || op.RowsIn != b.RowsIn || op.RowsOut != b.RowsOut || !closeTo(op.Cost, b.Cost) {
+			t.Errorf("PerOp[%d] merged %q rows %d→%d cost %v, unsharded %q rows %d→%d cost %v",
+				i, op.Name, op.RowsIn, op.RowsOut, op.Cost, b.Name, b.RowsIn, b.RowsOut, b.Cost)
+		}
+	}
+	if !closeTo(first.Result.ClusterTime, base.Result.ClusterTime) {
+		t.Errorf("merged ClusterTime %v != unsharded %v", first.Result.ClusterTime, base.Result.ClusterTime)
+	}
+	// Legs run in parallel: merged modeled latency is the slowest shard's,
+	// which over a partitioned corpus cannot exceed the unsharded latency.
+	if first.Result.Latency > base.Result.Latency {
+		t.Errorf("merged Latency %.4f exceeds unsharded %.4f", first.Result.Latency, base.Result.Latency)
+	}
+}
+
+// TestShardedPlanAffinityWarmth asserts the point of plan-affinity routing:
+// repeats of one predicate hit a single warm replica per shard (one plan
+// search each), while round-robin spreads them over every replica and
+// re-pays the search per replica.
+func TestShardedPlanAffinityWarmth(t *testing.T) {
+	const repeats = 4
+	run := func(routing RoutingPolicy) (misses uint64, warmReplicas int) {
+		c := newMiniCoordinator(t, 60, 2, 2, routing, nil)
+		pred := query.MustParse("t=SUV & c=red")
+		for i := 0; i < repeats; i++ {
+			if _, err := c.Do(Request{ID: fmt.Sprintf("Q%d", i), Pred: pred}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, perShard := range c.ReplicaStats() {
+			for _, st := range perShard {
+				misses += st.PlanMisses
+				if st.PlanHits > 0 {
+					warmReplicas++
+				}
+			}
+		}
+		return misses, warmReplicas
+	}
+
+	affMisses, affWarm := run(RoutePlanAffinity)
+	rrMisses, _ := run(RouteRoundRobin)
+
+	// Affinity: the repeat predicate sticks to one replica per shard — one
+	// search per shard, and that replica alone accumulates hits.
+	if affMisses != 2 {
+		t.Errorf("plan-affinity plan misses = %d, want 2 (one per shard)", affMisses)
+	}
+	if affWarm != 2 {
+		t.Errorf("plan-affinity warm replicas = %d, want 2 (one per shard)", affWarm)
+	}
+	// Round-robin alternates replicas, so every replica of every shard pays
+	// its own search: 2 shards × 2 replicas.
+	if rrMisses != 4 {
+		t.Errorf("round-robin plan misses = %d, want 4 (every replica)", rrMisses)
+	}
+	if affMisses >= rrMisses {
+		t.Errorf("affinity (%d misses) should plan strictly less than round-robin (%d)", affMisses, rrMisses)
+	}
+}
+
+// failingCorpusBuilder fails plan assembly for any slice containing the
+// poisoned blob ID — exactly one shard of a contiguous split.
+type failingCorpusBuilder struct {
+	inner    CorpusBuilder
+	poisoned int
+}
+
+func (b failingCorpusBuilder) UDFCost(pred query.Pred) (float64, error) {
+	return b.inner.UDFCost(pred)
+}
+
+func (b failingCorpusBuilder) BuildOver(blobs []blob.Blob, pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
+	for _, bb := range blobs {
+		if bb.ID == b.poisoned {
+			return engine.Plan{}, fmt.Errorf("injected shard fault (blob %d)", b.poisoned)
+		}
+	}
+	return b.inner.BuildOver(blobs, pred, filter)
+}
+
+// TestShardedFailureAttribution: when one shard fails, the session errors out
+// promptly with the failing shard attributed — never a hang, never a partial
+// result — the failure is counted, and the flight recorder auto-dumps on the
+// shard.fail event.
+func TestShardedFailureAttribution(t *testing.T) {
+	var dump bytes.Buffer
+	fr := obs.NewFlightRecorder(64, &dump)
+	// Blob 0 lives in shard 0 of any contiguous split.
+	c := newMiniCoordinator(t, 60, 3, 1, RouteRoundRobin, func(cfg *ShardedConfig) {
+		cfg.Builder = failingCorpusBuilder{inner: cfg.Builder, poisoned: 0}
+		cfg.Base.Obs = obs.New(fr)
+	})
+
+	resp, err := c.Do(Request{ID: "QF", Pred: query.MustParse("t=SUV")})
+	if err == nil {
+		t.Fatal("scatter over a failing shard returned no error")
+	}
+	if resp != nil {
+		t.Errorf("failed scatter returned a partial response: %+v", resp)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "shard 0") {
+		t.Errorf("error does not attribute the failing shard: %v", err)
+	}
+	if !strings.Contains(msg, "injected shard fault") {
+		t.Errorf("error lost the underlying cause: %v", err)
+	}
+	if strings.Contains(msg, "shard 1") || strings.Contains(msg, "shard 2") {
+		t.Errorf("healthy shards blamed in error: %v", err)
+	}
+
+	st := c.Stats()
+	if st.ScatterFailures != 1 {
+		t.Errorf("ScatterFailures = %d, want 1", st.ScatterFailures)
+	}
+	if st.ScatterSessions != 1 {
+		t.Errorf("ScatterSessions = %d, want 1", st.ScatterSessions)
+	}
+	if fr.Dumps() < 1 {
+		t.Error("flight recorder did not auto-dump on shard.fail")
+	}
+	if !strings.Contains(dump.String(), "shard.fail") {
+		t.Errorf("flight dump missing the shard.fail event:\n%s", dump.String())
+	}
+
+	// The coordinator stays serviceable: a healthy predicate still fails (the
+	// poisoned shard fails every plan), but a second coordinator without the
+	// fault serves fine — degradation is per-session, not sticky.
+	if _, err := c.Do(Request{ID: "QF2", Pred: query.MustParse("c=red")}); err == nil {
+		t.Error("poisoned shard unexpectedly recovered")
+	}
+}
+
+// TestShardedValidation covers NewSharded's config errors.
+func TestShardedValidation(t *testing.T) {
+	blobs := miniBlobs(8, 7)
+	val := miniBlobs(400, 8)
+	base := Config{
+		Optimizer: optimizer.New(miniCorpus(t, val)),
+		Accuracy:  0.95,
+		Domains:   miniDomains(),
+		Exec:      engine.Config{NoStageOverhead: true},
+	}
+
+	if _, err := NewSharded(ShardedConfig{Base: base, Corpus: blobs}); err == nil {
+		t.Error("nil Builder accepted")
+	}
+	if _, err := NewSharded(ShardedConfig{
+		Base: base, Shards: 16, Corpus: blobs, Builder: miniCorpusBuilder{udf: miniUDF{cost: 40}},
+	}); err == nil {
+		t.Error("more shards than corpus blobs accepted")
+	}
+	badRouting := base
+	badRouting.Routing = RoutingPolicy("random")
+	if _, err := NewSharded(ShardedConfig{
+		Base: badRouting, Corpus: blobs, Builder: miniCorpusBuilder{udf: miniUDF{cost: 40}},
+	}); err == nil {
+		t.Error("unknown routing policy accepted")
+	}
+
+	// Defaults: zero shards/replicas select 1, empty routing round-robin.
+	c, err := NewSharded(ShardedConfig{
+		Base: base, Corpus: blobs, Builder: miniCorpusBuilder{udf: miniUDF{cost: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 1 {
+		t.Errorf("defaulted Shards() = %d, want 1", c.Shards())
+	}
+	if c.Routing() != RouteRoundRobin {
+		t.Errorf("defaulted Routing() = %q, want %q", c.Routing(), RouteRoundRobin)
+	}
+}
+
+func TestRouters(t *testing.T) {
+	// Replica Load state is directly settable in-package.
+	mkReplicas := func(loads ...int64) []*Server {
+		out := make([]*Server, len(loads))
+		for i, l := range loads {
+			out[i] = &Server{}
+			out[i].active.Store(l)
+		}
+		return out
+	}
+
+	t.Run("round-robin cycles per shard", func(t *testing.T) {
+		r := newRouter(RouteRoundRobin, 2)
+		reps := mkReplicas(0, 0, 0)
+		for shard := 0; shard < 2; shard++ {
+			for want := 0; want < 6; want++ {
+				if got := r.Pick(shard, "k", reps); got != want%3 {
+					t.Fatalf("shard %d pick %d = %d, want %d", shard, want, got, want%3)
+				}
+			}
+		}
+	})
+
+	t.Run("least-loaded picks min, ties low", func(t *testing.T) {
+		r := newRouter(RouteLeastLoaded, 1)
+		if got := r.Pick(0, "k", mkReplicas(3, 1, 2)); got != 1 {
+			t.Errorf("pick = %d, want 1 (lowest load)", got)
+		}
+		if got := r.Pick(0, "k", mkReplicas(2, 1, 1)); got != 1 {
+			t.Errorf("tie pick = %d, want 1 (lowest index among ties)", got)
+		}
+		reps := mkReplicas(5, 0)
+		reps[1].queued.Store(7) // queued counts toward load too
+		if got := r.Pick(0, "k", reps); got != 0 {
+			t.Errorf("queued-aware pick = %d, want 0", got)
+		}
+	})
+
+	t.Run("plan-affinity is sticky per key and in range", func(t *testing.T) {
+		r := newRouter(RoutePlanAffinity, 1)
+		reps := mkReplicas(0, 0, 0)
+		seen := map[int]bool{}
+		for _, key := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+			first := r.Pick(0, key, reps)
+			if first < 0 || first >= len(reps) {
+				t.Fatalf("key %q picked out-of-range replica %d", key, first)
+			}
+			for i := 0; i < 3; i++ {
+				if got := r.Pick(0, key, reps); got != first {
+					t.Fatalf("key %q not sticky: %d then %d", key, first, got)
+				}
+			}
+			seen[first] = true
+		}
+		if len(seen) < 2 {
+			t.Error("eight distinct keys all hashed to one replica; expected spread")
+		}
+	})
+}
+
+// TestScoreCacheCostGate exercises ScoreCacheMinCost end-to-end: a threshold
+// above every PP's cost bypasses the cache entirely (zero lookups), a mixed
+// threshold caches only the expensive leaves, and outputs stay identical in
+// all modes.
+func TestScoreCacheCostGate(t *testing.T) {
+	run := func(minCost float64) (string, Stats) {
+		st := newMiniStack(t, 60, func(cfg *Config) { cfg.ScoreCacheMinCost = minCost })
+		resps, err := st.srv.Replay(miniWorkload, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderResponses(resps), st.srv.Stats()
+	}
+
+	baseline, allStats := run(0)
+	lookups := func(s Stats) uint64 { return s.ScoreHits + s.ScoreMisses }
+	if lookups(allStats) == 0 {
+		t.Fatal("workload drove no score-cache lookups; the gate test is vacuous")
+	}
+
+	// Threshold above every mini PP (exact 1.0, speed 1.2): all leaves bypass.
+	renderAll, bypassStats := run(10)
+	if renderAll != baseline {
+		t.Error("full-bypass render diverged from cached baseline")
+	}
+	if n := lookups(bypassStats); n != 0 {
+		t.Errorf("full bypass still drove %d cache lookups", n)
+	}
+
+	// Threshold between the two PP costs: only speed PPs (1.2) stay cached.
+	renderMixed, mixedStats := run(1.1)
+	if renderMixed != baseline {
+		t.Error("mixed-gate render diverged from cached baseline")
+	}
+	if n := lookups(mixedStats); n == 0 || n >= lookups(allStats) {
+		t.Errorf("mixed gate lookups = %d, want in (0, %d)", n, lookups(allStats))
+	}
+}

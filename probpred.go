@@ -364,6 +364,43 @@ type (
 // NewServer validates the config and returns a ready server.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
+// Sharded scatter-gather serving: the corpus split into contiguous shards,
+// each owning replica servers with private plan/score caches; every session
+// fans out to all shards, a pluggable router picks the replica per shard,
+// and legs merge deterministically in shard order — outputs byte-identical
+// to an unsharded server (see DESIGN.md, "Sharded serving & routing").
+type (
+	// Coordinator scatter-gathers sessions across shards; safe for
+	// concurrent Do.
+	Coordinator = serve.Coordinator
+	// ShardedConfig configures a Coordinator: the per-replica base config,
+	// shard/replica counts, the corpus to split, and the routing policy.
+	ShardedConfig = serve.ShardedConfig
+	// CorpusBuilder is the engine/corpus split of QueryBuilder: plan
+	// assembly over an injected blob slice, so shards can share one builder
+	// over disjoint slices.
+	CorpusBuilder = serve.CorpusBuilder
+	// ShardRoutingPolicy names a built-in replica router.
+	ShardRoutingPolicy = serve.RoutingPolicy
+)
+
+// Built-in routing policies for ShardedConfig / ServeConfig Routing.
+const (
+	RouteRoundRobin   = serve.RouteRoundRobin
+	RouteLeastLoaded  = serve.RouteLeastLoaded
+	RoutePlanAffinity = serve.RoutePlanAffinity
+)
+
+// NewShardedServer validates the config, splits the corpus, and returns a
+// ready coordinator.
+func NewShardedServer(cfg ShardedConfig) (*Coordinator, error) { return serve.NewSharded(cfg) }
+
+// BindShardCorpus fixes a CorpusBuilder to one blob slice, yielding the
+// legacy single-corpus QueryBuilder.
+func BindShardCorpus(b CorpusBuilder, blobs []Blob) QueryBuilder {
+	return serve.BindCorpus(b, blobs)
+}
+
 // Adaptive mid-query re-optimization: a controller that watches observed vs
 // planned per-leaf PP reductions at chunk boundaries and hot-swaps to a
 // cheaper sibling order when they diverge, preserving byte-identical
