@@ -7,6 +7,7 @@
 //	        [-json BENCH_pp.json] [-hotpath BENCH_hotpath.json]
 //	        [-serve BENCH_serve.json] [-adaptive BENCH_adaptive.json]
 //	        [-latency BENCH_latency.json] [-shard BENCH_shard.json]
+//	        [-obs BENCH_obs.json] [-querylog querylog.jsonl]
 //	        [-pprof localhost:6060] [-metrics localhost:9090] [-hold]
 //
 // The experiment ids match DESIGN.md's per-experiment index. Output of a
@@ -48,6 +49,8 @@ func main() {
 	adaptivePath := flag.String("adaptive", "", "run a drifted stream with and without mid-query re-optimization and write BENCH_adaptive.json to this path")
 	latencyPath := flag.String("latency", "", "drive the serving layer with an open-loop load generator (rate x concurrency sweep, PP on/off variants) and write BENCH_latency.json to this path")
 	shardPath := flag.String("shard", "", "run the sharded scatter-gather determinism checks and throughput sweep and write BENCH_shard.json to this path")
+	obsPath := flag.String("obs", "", "replay the TRAF20 workload with tracing + query log on, run the pplog analyzer and write BENCH_obs.json to this path")
+	queryLogPath := flag.String("querylog", "", "with -obs: also write the raw JSONL query log to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:9090) while running")
 	hold := flag.Bool("hold", false, "with -metrics or -pprof: keep serving after experiments finish, until interrupted")
@@ -181,6 +184,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote shard report to %s\n", *shardPath)
+		return
+	}
+	if *obsPath != "" {
+		doc, rep, err := bench.RunObs(cfg, *queryLogPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		f, err := os.Create(*obsPath)
+		if err == nil {
+			err = doc.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote observability report to %s\n", *obsPath)
+		if *queryLogPath != "" {
+			fmt.Printf("wrote query log to %s\n", *queryLogPath)
+		}
 		return
 	}
 

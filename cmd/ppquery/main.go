@@ -7,6 +7,7 @@
 //
 //	ppquery [-pred "t=SUV & c=red"] [-accuracy 0.95] [-rows 20000] [-seed N] [-explain]
 //	        [-trace] [-metrics addr] [-metrics-dump file.json]
+//	        [-querylog file.jsonl] [-flight-triggers default|none|run-errors,event,...]
 //
 // -explain prints the candidate PP expressions and an EXPLAIN ANALYZE tree
 // for the executed PP plan: per-operator estimated vs actual rows, virtual
@@ -22,31 +23,44 @@
 // -metrics serves Prometheus text on http://addr/metrics (plus /healthz and
 // /debug/pprof/) for the duration of the process; -metrics-dump writes a
 // one-shot JSON snapshot of every instrument when the query finishes.
+//
+// Every invocation runs under one trace ID (printed alongside the predicate);
+// all spans the run emits share it. -querylog appends a structured pplog
+// record for the PP run to the given JSONL file. -flight-triggers overrides
+// which records auto-dump the flight recorder: "default" keeps the built-in
+// set (failed runs, watchdog.trip, adapt.swap, shard.fail), "none" disables
+// auto-dumping, and a comma-separated list names event triggers directly,
+// with the special token "run-errors" standing for failed run spans.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"probpred/internal/bench"
 	"probpred/internal/engine"
 	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
+	"probpred/internal/pplog"
 	"probpred/internal/query"
 )
 
 type options struct {
-	predStr     string
-	accuracy    float64
-	rows        int
-	seed        uint64
-	explain     bool
-	corpusFile  string
-	trace       bool
-	metricsAddr string
-	metricsDump string
+	predStr       string
+	accuracy      float64
+	rows          int
+	seed          uint64
+	explain       bool
+	corpusFile    string
+	trace         bool
+	metricsAddr   string
+	metricsDump   string
+	queryLog      string
+	flightTrigger string
 }
 
 func main() {
@@ -60,6 +74,8 @@ func main() {
 	flag.BoolVar(&o.trace, "trace", false, "stream execution + optimizer spans to stderr")
 	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. :9090)")
 	flag.StringVar(&o.metricsDump, "metrics-dump", "", "write a JSON metrics snapshot to this file at exit")
+	flag.StringVar(&o.queryLog, "querylog", "", "append a structured pplog record for the PP run to this JSONL file")
+	flag.StringVar(&o.flightTrigger, "flight-triggers", "default", "flight-recorder auto-dump triggers: 'default', 'none', or comma-separated event names ('run-errors' = failed run spans)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -73,11 +89,18 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("predicate: %s  (accuracy target %.2f)\n", pred, o.accuracy)
+	tctx := obs.TraceContext{TraceID: obs.NewTraceID()}
+	fmt.Printf("predicate: %s  (accuracy target %.2f, trace %s)\n", pred, o.accuracy, tctx.TraceID)
 
 	// The flight recorder rides along unconditionally: it buffers the most
-	// recent spans/events and dumps them to stderr only when a run fails.
+	// recent spans/events and dumps them to stderr when a trigger fires
+	// (-flight-triggers picks the trigger set; the default is a failed run).
 	recorder := obs.NewFlightRecorder(256, os.Stderr)
+	trigger, err := parseTriggers(o.flightTrigger)
+	if err != nil {
+		return err
+	}
+	recorder.SetTrigger(trigger)
 	sinks := []obs.Sink{recorder}
 	if o.trace {
 		sinks = append(sinks, obs.NewTextSink(os.Stderr))
@@ -105,7 +128,7 @@ func run(o options) error {
 	fmt.Printf("corpus: %d PPs trained in %s; stream: %d rows\n\n",
 		h.Opt.Corpus().Size(), h.CorpusTrainTime.Round(1e6), len(h.TestBlobs))
 
-	execCfg := engine.Config{Obs: tracer, Metrics: reg}
+	execCfg := engine.Config{Obs: tracer, Metrics: reg, Trace: tctx}
 	nopPlan, u, err := h.NoPPlan(pred)
 	if err != nil {
 		return err
@@ -119,10 +142,12 @@ func run(o options) error {
 		return err
 	}
 	dec.Filter.Instrument(reg)
+	ppStart := time.Now()
 	pp, err := engine.Run(ppPlan, execCfg)
 	if err != nil {
 		return err
 	}
+	ppWall := time.Since(ppStart)
 
 	fmt.Printf("optimizer: %d candidate PP expressions, UDF cost u=%.0f vms/row\n", dec.NumCandidates, u)
 	if dec.Inject {
@@ -138,10 +163,11 @@ func run(o options) error {
 		}
 	}
 
-	// Feed the observed reduction back to the optimizer (A.5 drift loop).
+	// Feed the observed reduction back to the optimizer (A.5 drift loop),
+	// under this invocation's trace.
 	for _, op := range pp.PerOp {
 		if op.PPFilter && op.RowsIn > 0 {
-			h.Opt.ObserveRuntime(dec, 1-float64(op.RowsOut)/float64(op.RowsIn))
+			h.Opt.ObserveRuntimeCtx(dec, 1-float64(op.RowsOut)/float64(op.RowsIn), tctx)
 		}
 	}
 
@@ -186,7 +212,80 @@ func run(o options) error {
 		}
 		fmt.Printf("metrics snapshot written to %s\n", o.metricsDump)
 	}
+	if o.queryLog != "" {
+		rec := pplog.Record{
+			TimeUnixNS: time.Now().UnixNano(),
+			TraceID:    tctx.TraceID,
+			Session:    "ppquery",
+			PlanKey:    optimizer.PlanKey(pred, o.accuracy),
+			Accuracy:   o.accuracy,
+			ServiceNS:  ppWall.Nanoseconds(),
+			Rows:       len(pp.Rows),
+			ClusterVMS: pp.ClusterTime,
+		}
+		for _, op := range pp.PerOp {
+			if op.PPFilter {
+				rec.PPTested += op.RowsIn
+				rec.PPPassed += op.RowsOut
+			}
+		}
+		if rec.PPTested > 0 {
+			rec.ObsReduction = 1 - float64(rec.PPPassed)/float64(rec.PPTested)
+		}
+		if dec.Inject {
+			rec.EstReduction = dec.Reduction
+		}
+		if err := appendQueryLog(o.queryLog, rec, reg); err != nil {
+			return err
+		}
+		fmt.Printf("query-log record appended to %s\n", o.queryLog)
+	}
 	return nil
+}
+
+// appendQueryLog appends one record to the JSONL query log at path through a
+// pplog.Writer (same format as the serving layer's log).
+func appendQueryLog(path string, rec pplog.Record, reg *metrics.Registry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w := pplog.NewWriter(f, 1, reg)
+	w.Log(rec)
+	err = w.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// parseTriggers compiles the -flight-triggers flag into an auto-dump
+// predicate: "default" selects obs.DefaultTriggerSpec, "none" disables
+// auto-dumping, anything else is a comma-separated list of event names with
+// "run-errors" standing for failed run spans.
+func parseTriggers(s string) (func(obs.Record) bool, error) {
+	switch strings.TrimSpace(s) {
+	case "", "default":
+		return obs.DefaultTrigger, nil
+	case "none":
+		return nil, nil
+	}
+	var spec obs.TriggerSpec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "":
+			continue
+		case tok == "run-errors":
+			spec.FailedRunSpans = true
+		default:
+			spec.Events = append(spec.Events, tok)
+		}
+	}
+	if !spec.FailedRunSpans && len(spec.Events) == 0 {
+		return nil, fmt.Errorf("-flight-triggers %q names no triggers (use 'none' to disable)", s)
+	}
+	return spec.Trigger(), nil
 }
 
 // estimateRows builds the planner's estimated output cardinality for each

@@ -203,6 +203,9 @@ func hashKey(s string) uint64 {
 // unadapted. The returned Result is never nil when err is nil.
 func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engine.Result, *Report, error) {
 	rep := &Report{}
+	// The engine config's trace context is the session identity: every
+	// adapt span and event of this run carries its TraceID.
+	ctx := ecfg.Trace
 	comp, opIdx := compiledFilter(p)
 	if comp == nil || spec.Reopt == nil {
 		res, err := engine.Run(p, ecfg)
@@ -221,7 +224,7 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 		br = c.breakerFor(spec.Key)
 		if br.State() == online.BreakerOpen && br.Ready(tick) {
 			br.Probation()
-			c.event("adapt.breaker_probation", obs.Attr{Key: "key", Value: spec.Key})
+			c.event(ctx, "adapt.breaker_probation", obs.Attr{Key: "key", Value: spec.Key})
 		}
 		pinned := br.State() == online.BreakerOpen
 		c.mu.Unlock()
@@ -265,7 +268,7 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 			c.counter("adapt_replan_budget_skips_total", "Re-plan attempts skipped because the virtual-time budget was exhausted.").Inc()
 			if !budgetEventSent {
 				budgetEventSent = true
-				c.event("adapt.replan_budget_exhausted",
+				c.event(ctx, "adapt.replan_budget_exhausted",
 					obs.Attr{Key: "key", Value: spec.Key},
 					obs.Attr{Key: "budget_vms", Value: strconv.FormatFloat(c.cfg.MaxReplanVMS, 'f', 1, 64)})
 			}
@@ -276,7 +279,7 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 		c.counter("adapt_replans_total", "Mid-query optimizer re-entries attempted.").Inc()
 		var sp obs.Span
 		if c.cfg.Obs.Enabled() {
-			sp = c.cfg.Obs.Begin(obs.KindAdapt, fmt.Sprintf("replan[%s]", spec.Key))
+			sp = c.cfg.Obs.BeginCtx(ctx, obs.KindAdapt, fmt.Sprintf("replan[%s]", spec.Key))
 			sp.SetAttr("chunk", strconv.Itoa(cs.Chunk))
 			sp.SetAttr("divergence", strconv.FormatFloat(d, 'f', 3, 64))
 			sp.CostVMS = c.cfg.ReplanCostVMS
@@ -289,7 +292,7 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 		if err != nil {
 			rep.ReplanFailures++
 			c.counter("adapt_replan_failures_total", "Mid-query re-entries that failed; the run continued on its current plan.").Inc()
-			c.event("adapt.replan_failed",
+			c.event(ctx, "adapt.replan_failed",
 				obs.Attr{Key: "key", Value: spec.Key},
 				obs.Attr{Key: "chunk", Value: strconv.Itoa(cs.Chunk)},
 				obs.Attr{Key: "error", Value: err.Error()})
@@ -297,11 +300,11 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 				sp.SetAttr("error", err.Error())
 				c.cfg.Obs.EmitSpan(sp)
 			}
-			c.reportBreaker(br, spec.Key, false, tick)
+			c.reportBreaker(ctx, br, spec.Key, false, tick)
 			streak = 0 // re-arm hysteresis before the next attempt
 			return nil, err
 		}
-		c.reportBreaker(br, spec.Key, true, tick)
+		c.reportBreaker(ctx, br, spec.Key, true, tick)
 		streak = 0
 		if !re.Changed {
 			// The optimizer looked and kept the order: the divergence is real
@@ -318,7 +321,7 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 			c.cfg.Obs.EmitSpan(sp)
 		}
 		c.counter("adapt_swaps_total", "Mid-query plan hot-swaps performed.").Inc()
-		c.event("adapt.swap",
+		c.event(ctx, "adapt.swap",
 			obs.Attr{Key: "key", Value: spec.Key},
 			obs.Attr{Key: "chunk", Value: strconv.Itoa(cs.Chunk + 1)},
 			obs.Attr{Key: "old_expr", Value: current.EvalExpr()},
@@ -355,8 +358,8 @@ func (c *Controller) Run(p engine.Plan, ecfg engine.Config, spec RunSpec) (*engi
 }
 
 // reportBreaker feeds one re-plan outcome to the key's breaker under the
-// controller lock, emitting trip/close telemetry.
-func (c *Controller) reportBreaker(br *online.Breaker, key string, ok bool, tick int) {
+// controller lock, emitting trip/close telemetry tagged with the session.
+func (c *Controller) reportBreaker(ctx obs.TraceContext, br *online.Breaker, key string, ok bool, tick int) {
 	if br == nil {
 		return
 	}
@@ -370,12 +373,12 @@ func (c *Controller) reportBreaker(br *online.Breaker, key string, ok bool, tick
 	switch tr {
 	case online.TransitionTrip:
 		c.counter("adapt_breaker_trips_total", "Re-plan circuit-breaker trips; the plan is pinned with jittered backoff.").Inc()
-		c.event("adapt.breaker_trip",
+		c.event(ctx, "adapt.breaker_trip",
 			obs.Attr{Key: "key", Value: key},
 			obs.Attr{Key: "trips_total", Value: strconv.Itoa(trips)})
 	case online.TransitionClose:
 		c.counter("adapt_breaker_closes_total", "Re-plan breakers closed after a successful probation re-plan.").Inc()
-		c.event("adapt.breaker_close", obs.Attr{Key: "key", Value: key})
+		c.event(ctx, "adapt.breaker_close", obs.Attr{Key: "key", Value: key})
 	}
 }
 
@@ -407,6 +410,6 @@ func (c *Controller) gauge(name, help string) *metrics.Gauge {
 	return c.cfg.Metrics.Gauge(name, help)
 }
 
-func (c *Controller) event(name string, attrs ...obs.Attr) {
-	c.cfg.Obs.Event(name, attrs...)
+func (c *Controller) event(ctx obs.TraceContext, name string, attrs ...obs.Attr) {
+	c.cfg.Obs.EventCtx(ctx, name, attrs...)
 }

@@ -150,6 +150,10 @@ type LatencyPoint struct {
 	QueueWait LatencyQuantiles `json:"queue_wait"`
 	Service   LatencyQuantiles `json:"service"`
 	Total     LatencyQuantiles `json:"total"`
+	// WorstTotalTraceID is the trace ID of the point's worst total-latency
+	// sample — the exemplar to pull from a span dump or query log when a
+	// point's tail needs explaining.
+	WorstTotalTraceID string `json:"worst_total_trace_id,omitempty"`
 
 	// Cache and adaptation counters at the end of the point (the point's
 	// server starts cold, so these are per-point totals incl. warmup).
@@ -258,6 +262,7 @@ func summarizePoint(p *LatencyPoint, outs []pointOutcome, lagMax time.Duration, 
 	total := &latencyDist{hist: agg.Histogram("latency_total_ns", "")}
 	var first, last time.Time
 	done := 0
+	var worstTotal time.Duration
 	for _, o := range outs {
 		if o.err != nil {
 			p.Errors++
@@ -272,7 +277,12 @@ func summarizePoint(p *LatencyPoint, outs []pointOutcome, lagMax time.Duration, 
 		done++
 		queue.observe(o.resp.QueueWait)
 		service.observe(o.resp.Service)
-		total.observe(o.done.Sub(o.dispatched))
+		t := o.done.Sub(o.dispatched)
+		total.observe(t)
+		if t >= worstTotal {
+			worstTotal = t
+			p.WorstTotalTraceID = o.resp.TraceID
+		}
 	}
 	if span := last.Sub(first); span > 0 && done > 0 {
 		p.AchievedQPS = float64(done) / span.Seconds()

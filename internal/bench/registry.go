@@ -32,6 +32,7 @@ var Experiments = map[string]Runner{
 	"adapt":           Adaptive,
 	"latency":         Latency,
 	"shard":           Shard,
+	"obs":             Obs,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -41,7 +42,7 @@ var Order = []string{
 	"fig10", "table8", "table9", "table10",
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
-	"faults", "hotpath", "serve", "adapt", "latency", "shard",
+	"faults", "hotpath", "serve", "adapt", "latency", "shard", "obs",
 }
 
 // Run executes one experiment by id.

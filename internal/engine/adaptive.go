@@ -103,7 +103,7 @@ func RunAdaptive(p Plan, cfg Config, acfg AdaptiveConfig) (*Result, error) {
 	}
 
 	ops := append([]Operator(nil), p.Ops...) // swaps must not mutate the caller's plan
-	runSpan := cfg.Obs.Begin(obs.KindRun, "plan[adaptive]")
+	runSpan := cfg.Obs.BeginCtx(cfg.Trace, obs.KindRun, "plan[adaptive]")
 	runStart := time.Now()
 	st := newStats()
 	accs := make([]opAcc, len(ops))
@@ -119,7 +119,7 @@ func RunAdaptive(p Plan, cfg Config, acfg AdaptiveConfig) (*Result, error) {
 		runSpan.SetAttr("error", err.Error())
 		cfg.Obs.End(&runSpan)
 		emitAccMetrics(cfg, ops, accs, opIdx)
-		emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true)
+		emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true, cfg.Trace.TraceID)
 		return nil, &OpError{Stage: len(stageCosts) - 1, Op: ops[opIdx].Name(), Err: err}
 	}
 
@@ -234,7 +234,7 @@ func RunAdaptive(p Plan, cfg Config, acfg AdaptiveConfig) (*Result, error) {
 		SwapErrors:  swapErrors,
 	}
 	emitAccMetrics(cfg, ops, accs, len(ops))
-	emitRunMetrics(cfg.Metrics, res, time.Since(runStart).Nanoseconds(), false)
+	emitRunMetrics(cfg.Metrics, res, time.Since(runStart).Nanoseconds(), false, cfg.Trace.TraceID)
 	return res, nil
 }
 

@@ -67,6 +67,10 @@ type Config struct {
 	// child spans on the row-parallel path. Nil disables tracing at
 	// near-zero overhead.
 	Obs *obs.Tracer
+	// Trace is the session trace context the run belongs to: the run span
+	// carries its TraceID (inherited by operator and chunk spans) and is
+	// parented under its SpanID. The zero value leaves spans untraced.
+	Trace obs.TraceContext
 	// Metrics receives numeric telemetry: per-operator cost/wall/cardinality
 	// histograms and counters, run totals, PP filter pass counters, and
 	// retry/timeout counters. Instruments are resolved per operator per run,
@@ -154,7 +158,7 @@ func Run(p Plan, cfg Config) (*Result, error) {
 	if len(p.Ops) == 0 {
 		return nil, fmt.Errorf("engine: empty plan")
 	}
-	runSpan := cfg.Obs.Begin(obs.KindRun, "plan")
+	runSpan := cfg.Obs.BeginCtx(cfg.Trace, obs.KindRun, "plan")
 	runStart := time.Now()
 	st := newStats()
 	var rows []Row
@@ -186,7 +190,7 @@ func Run(p Plan, cfg Config) (*Result, error) {
 			runSpan.SetAttr("error", err.Error())
 			cfg.Obs.End(&runSpan)
 			emitOpMetrics(cfg.Metrics, op, len(rows), 0, cost, wallNS, tally, &ctally)
-			emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true)
+			emitRunMetrics(cfg.Metrics, nil, time.Since(runStart).Nanoseconds(), true, cfg.Trace.TraceID)
 			return nil, &OpError{Stage: len(stageCosts) - 1, Op: op.Name(), Err: err}
 		}
 		cfg.Obs.End(&opSpan)
@@ -219,6 +223,6 @@ func Run(p Plan, cfg Config) (*Result, error) {
 		Stats:       st,
 		PerOp:       perOp,
 	}
-	emitRunMetrics(cfg.Metrics, res, time.Since(runStart).Nanoseconds(), false)
+	emitRunMetrics(cfg.Metrics, res, time.Since(runStart).Nanoseconds(), false, cfg.Trace.TraceID)
 	return res, nil
 }

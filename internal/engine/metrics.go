@@ -25,8 +25,10 @@ func (t *retryTally) add(o retryTally) {
 	t.timeouts += o.timeouts
 }
 
-// emitRunMetrics records one completed (or failed) Run.
-func emitRunMetrics(reg *metrics.Registry, res *Result, wallNS int64, failed bool) {
+// emitRunMetrics records one completed (or failed) Run. traceID, when
+// non-empty, becomes the exemplar on the run histograms' buckets so a tail
+// bucket resolves back to its session.
+func emitRunMetrics(reg *metrics.Registry, res *Result, wallNS int64, failed bool, traceID string) {
 	if reg == nil {
 		return
 	}
@@ -35,9 +37,9 @@ func emitRunMetrics(reg *metrics.Registry, res *Result, wallNS int64, failed boo
 		reg.Counter("engine_run_errors_total", "Engine plan executions that failed.").Inc()
 		return
 	}
-	reg.Histogram("engine_run_cluster_vms", "Total cluster processing time per run, virtual ms.").Observe(res.ClusterTime)
-	reg.Histogram("engine_run_latency_vms", "Modeled end-to-end latency per run, virtual ms.").Observe(res.Latency)
-	reg.Histogram("engine_run_wall_ns", "Real wall-clock duration per run, nanoseconds.").Observe(float64(wallNS))
+	reg.Histogram("engine_run_cluster_vms", "Total cluster processing time per run, virtual ms.").ObserveExemplar(res.ClusterTime, traceID)
+	reg.Histogram("engine_run_latency_vms", "Modeled end-to-end latency per run, virtual ms.").ObserveExemplar(res.Latency, traceID)
+	reg.Histogram("engine_run_wall_ns", "Real wall-clock duration per run, nanoseconds.").ObserveExemplar(float64(wallNS), traceID)
 }
 
 // emitOpMetrics records one operator execution within a run.

@@ -283,12 +283,25 @@ const (
 	overIdx  = numBuckets + 1
 )
 
+// Exemplar ties a concrete observation to the session trace that produced
+// it, so a histogram bucket (e.g. the p99 of serve_service_ns) can be
+// resolved back to one query-log record and span tree.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
 // Histogram is a streaming log-bucketed distribution with lock-free Observe.
-// A nil *Histogram is a no-op.
+// A nil *Histogram is a no-op. Each bucket additionally retains the most
+// recent traced observation as its exemplar (ObserveExemplar).
 type Histogram struct {
 	counts  [numBuckets + 2]atomic.Uint64
 	total   atomic.Uint64
 	sumBits atomic.Uint64
+	// ex[i] is the most recent (value, trace) pair observed into bucket i;
+	// nil until a traced observation lands there. Stored as immutable
+	// pointers so scrapes read a consistent pair without locking.
+	ex [numBuckets + 2]atomic.Pointer[Exemplar]
 }
 
 func newHistogram() *Histogram { return &Histogram{} }
@@ -336,6 +349,58 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, retains (v, traceID) as the bucket's exemplar. The exemplar
+// store is one atomic pointer swap, so the hot path stays allocation-bounded
+// to the single Exemplar value.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	if traceID != "" {
+		h.ex[bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+	h.Observe(v)
+}
+
+// QuantileExemplar returns the exemplar attached to the bucket holding the
+// q-quantile, falling back to the nearest populated lower (then higher)
+// bucket — the p99 bucket may have been filled only by untraced
+// observations. Returns nil when no exemplar exists or on a nil handle.
+func (h *Histogram) QuantileExemplar(q float64) *Exemplar {
+	if h == nil {
+		return nil
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return nil
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	target := overIdx
+	var cum uint64
+	for i := underIdx; i <= overIdx; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			target = i
+			break
+		}
+	}
+	for i := target; i >= underIdx; i-- {
+		if e := h.ex[i].Load(); e != nil {
+			return e
+		}
+	}
+	for i := target + 1; i <= overIdx; i++ {
+		if e := h.ex[i].Load(); e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Count returns how many values were observed.
@@ -389,11 +454,13 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(h.Count())
 }
 
-// bucketRow is one non-empty bucket of a snapshot: its inclusive upper bound
-// and the cumulative count of observations at or below it.
+// bucketRow is one non-empty bucket of a snapshot: its inclusive upper
+// bound, the cumulative count of observations at or below it, and the
+// bucket's exemplar (nil when no traced observation landed there).
 type bucketRow struct {
 	upper    float64
 	cumCount uint64
+	ex       *Exemplar
 }
 
 // snapshotBuckets returns the non-empty buckets with cumulative counts, for
@@ -408,7 +475,7 @@ func (h *Histogram) snapshotBuckets() []bucketRow {
 			continue
 		}
 		cum += c
-		out = append(out, bucketRow{upper: bucketUpper(i), cumCount: cum})
+		out = append(out, bucketRow{upper: bucketUpper(i), cumCount: cum, ex: h.ex[i].Load()})
 	}
 	return out
 }

@@ -50,14 +50,20 @@ func (r *Registry) WriteProm(w io.Writer) error {
 }
 
 // writePromHistogram emits one histogram series: cumulative buckets (ending
-// with le="+Inf"), then _sum and _count.
+// with le="+Inf"), then _sum and _count. Buckets holding an exemplar get the
+// OpenMetrics exemplar suffix (`# {trace_id="..."} value`) so a scrape can
+// jump from a tail bucket straight to the trace that landed there.
 func writePromHistogram(w io.Writer, name string, labels []Label, h *Histogram) error {
 	rows := h.snapshotBuckets()
 	var cum uint64
 	for _, row := range rows {
 		cum = row.cumCount
 		le := append(append([]Label(nil), labels...), Label{Key: "le", Value: formatValue(row.upper)})
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(le), row.cumCount); err != nil {
+		suffix := ""
+		if row.ex != nil {
+			suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabelValue(row.ex.TraceID), formatValue(row.ex.Value))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, renderLabels(le), row.cumCount, suffix); err != nil {
 			return err
 		}
 	}
@@ -110,6 +116,15 @@ func escapeHelp(v string) string {
 	return r.Replace(v)
 }
 
+// SnapshotExemplar is one bucket exemplar in a JSON snapshot. LE is the
+// bucket's inclusive upper bound rendered like the Prometheus le label
+// ("+Inf" for the overflow bucket — JSON has no infinity literal).
+type SnapshotExemplar struct {
+	LE      string  `json:"le"`
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
 // SnapshotSeries is one series in a JSON snapshot.
 type SnapshotSeries struct {
 	Labels map[string]string `json:"labels,omitempty"`
@@ -122,6 +137,10 @@ type SnapshotSeries struct {
 	P50   float64 `json:"p50,omitempty"`
 	P90   float64 `json:"p90,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
+	// P99TraceID resolves the p99 bucket to a session trace (QuantileExemplar).
+	P99TraceID string `json:"p99_trace_id,omitempty"`
+	// Exemplars lists every bucket's retained (value, trace) pair.
+	Exemplars []SnapshotExemplar `json:"exemplars,omitempty"`
 }
 
 // SnapshotFamily is one metric family in a JSON snapshot.
@@ -169,6 +188,17 @@ func (r *Registry) Snapshot() []SnapshotFamily {
 			ss.P50 = s.hist.Quantile(0.50)
 			ss.P90 = s.hist.Quantile(0.90)
 			ss.P99 = s.hist.Quantile(0.99)
+			if e := s.hist.QuantileExemplar(0.99); e != nil {
+				ss.P99TraceID = e.TraceID
+			}
+			for _, row := range s.hist.snapshotBuckets() {
+				if row.ex == nil {
+					continue
+				}
+				ss.Exemplars = append(ss.Exemplars, SnapshotExemplar{
+					LE: formatValue(row.upper), Value: row.ex.Value, TraceID: row.ex.TraceID,
+				})
+			}
 		}
 		out[i].Series = append(out[i].Series, ss)
 	})

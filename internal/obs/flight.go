@@ -69,13 +69,14 @@ func (r Record) writeTo(w io.Writer) {
 
 // FlightRecorder is a Sink that keeps the last N records in a fixed-size ring
 // buffer and dumps them when something goes wrong — so post-mortems do not
-// require a streaming sink to have been attached in advance. The default
-// trigger fires on a failed run span (kind "run" carrying an "error" attr),
-// on a watchdog trip event, and on a mid-query plan swap ("adapt.swap": the
-// window leading up to a replan is exactly what a drift post-mortem needs);
-// each trigger dumps the ring once to the
-// configured writer, newest record last, then clears it so consecutive
-// failures produce disjoint dumps.
+// require a streaming sink to have been attached in advance. The trigger set
+// is configurable via TriggerSpec/SetTrigger; the default
+// (DefaultTriggerSpec) fires on a failed run span (kind "run" carrying an
+// "error" attr), on a watchdog trip event, on a mid-query plan swap
+// ("adapt.swap": the window leading up to a replan is exactly what a drift
+// post-mortem needs), and on a failed shard leg ("shard.fail"); each trigger
+// dumps the ring once to the configured writer, newest record last, then
+// clears it so consecutive failures produce disjoint dumps.
 type FlightRecorder struct {
 	mu      sync.Mutex
 	ring    []Record
@@ -86,25 +87,51 @@ type FlightRecorder struct {
 	dumps   int
 }
 
-// DefaultTrigger is the auto-dump predicate wired into NewFlightRecorder: a
-// failed query run, a tripped accuracy watchdog, a mid-query plan swap, or a
-// failed scatter-gather shard leg.
-func DefaultTrigger(r Record) bool {
-	if r.Span != nil && r.Span.Kind == KindRun {
-		for _, a := range r.Span.Attrs {
-			if a.Key == "error" {
-				return true
+// TriggerSpec declares which records auto-dump the flight recorder's ring,
+// replacing the previously hard-wired predicate. The zero spec never fires;
+// DefaultTriggerSpec reproduces the historical default.
+type TriggerSpec struct {
+	// FailedRunSpans fires on a failed query run: a span of kind "run"
+	// carrying an "error" attribute.
+	FailedRunSpans bool
+	// Events lists event names that fire a dump (e.g. "watchdog.trip").
+	Events []string
+}
+
+// DefaultTriggerSpec is the default trigger set wired into
+// NewFlightRecorder: a failed query run, a tripped accuracy watchdog, a
+// mid-query plan swap, and a failed scatter-gather shard leg.
+func DefaultTriggerSpec() TriggerSpec {
+	return TriggerSpec{
+		FailedRunSpans: true,
+		Events:         []string{"watchdog.trip", "adapt.swap", "shard.fail"},
+	}
+}
+
+// Trigger compiles the spec into an auto-dump predicate for SetTrigger.
+func (ts TriggerSpec) Trigger() func(Record) bool {
+	events := make(map[string]bool, len(ts.Events))
+	for _, name := range ts.Events {
+		events[name] = true
+	}
+	failedRuns := ts.FailedRunSpans
+	return func(r Record) bool {
+		if failedRuns && r.Span != nil && r.Span.Kind == KindRun {
+			for _, a := range r.Span.Attrs {
+				if a.Key == "error" {
+					return true
+				}
 			}
 		}
+		return r.Event != nil && events[r.Event.Name]
 	}
-	if r.Event != nil {
-		switch r.Event.Name {
-		case "watchdog.trip", "adapt.swap", "shard.fail":
-			return true
-		}
-	}
-	return false
 }
+
+// DefaultTrigger is the auto-dump predicate wired into NewFlightRecorder —
+// DefaultTriggerSpec compiled.
+func DefaultTrigger(r Record) bool { return defaultTrigger(r) }
+
+var defaultTrigger = DefaultTriggerSpec().Trigger()
 
 // NewFlightRecorder returns a recorder holding the last capacity records
 // (zero or negative selects 256) that auto-dumps to w on DefaultTrigger. A
@@ -187,6 +214,24 @@ func (f *FlightRecorder) Dump(w io.Writer) {
 	f.mu.Lock()
 	f.dumpLocked(w, "manual")
 	f.mu.Unlock()
+}
+
+// DumpJSON writes the buffered records to w as JSON Lines in the JSONSink
+// format (one {"type": "span"|"event"|"metric", ...} object per record,
+// oldest first) without clearing the ring — the machine-readable dump the
+// pplog analyzer joins with the query log.
+func (f *FlightRecorder) DumpJSON(w io.Writer) {
+	sink := NewJSONSink(w)
+	for _, r := range f.Records() {
+		switch {
+		case r.Span != nil:
+			sink.Span(*r.Span)
+		case r.Event != nil:
+			sink.Event(*r.Event)
+		case r.Metric != nil:
+			sink.Metric(*r.Metric)
+		}
+	}
 }
 
 func (f *FlightRecorder) dumpLocked(w io.Writer, why string) {

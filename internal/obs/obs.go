@@ -21,6 +21,9 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -51,13 +54,49 @@ type Attr struct {
 	Value string `json:"value"`
 }
 
+// TraceContext identifies the session a unit of work belongs to: the
+// session-wide TraceID plus the SpanID to parent new spans under. It is
+// passed by value through engine/optimizer/adapt configs; the zero value
+// means "no session" and degrades every consumer to its pre-tracing
+// behaviour.
+type TraceContext struct {
+	// TraceID is shared by every span and event of one served session,
+	// across coordinator, shard legs, replicas, optimizer and engine.
+	TraceID string
+	// SpanID is the span to parent the next child span under (0 = root).
+	SpanID int64
+}
+
+// Valid reports whether the context carries a session identity.
+func (c TraceContext) Valid() bool { return c.TraceID != "" }
+
+// traceHi is a per-process random prefix so trace IDs from concurrently
+// written logs (replicas, reruns) do not collide; traceSeq makes IDs unique
+// within the process. Both are independent of any Tracer so trace IDs exist
+// even when tracing is disabled (exemplars and the query log still need
+// them).
+var (
+	traceHi  = func() uint32 { var b [4]byte; _, _ = rand.Read(b[:]); return binary.LittleEndian.Uint32(b[:]) }()
+	traceSeq atomic.Uint32
+)
+
+// NewTraceID returns a fresh 16-hex-char session trace ID. It never reads
+// the clock and is safe for concurrent use.
+func NewTraceID() string {
+	return fmt.Sprintf("%08x%08x", traceHi, traceSeq.Add(1))
+}
+
 // Span is a completed unit of work. IDs are unique per tracer; Parent links
 // chunk spans to their operator span and operator spans to their run span.
 type Span struct {
 	ID     int64  `json:"id"`
 	Parent int64  `json:"parent,omitempty"`
-	Kind   string `json:"kind"`
-	Name   string `json:"name"`
+	// Trace is the session TraceID this span belongs to ("" = untraced).
+	// BeginCtx sets it from a TraceContext and BeginChild inherits it, so
+	// every span under one session root shares the ID.
+	Trace string `json:"trace,omitempty"`
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
 	// Start is the wall-clock start time.
 	Start time.Time `json:"start"`
 	// WallNS is the real elapsed time in nanoseconds.
@@ -91,9 +130,11 @@ func (sp *Span) SetAttr(key, value string) {
 
 // Event is a point-in-time occurrence (e.g. a watchdog trip).
 type Event struct {
-	Time  time.Time `json:"time"`
-	Name  string    `json:"name"`
-	Attrs []Attr    `json:"attrs,omitempty"`
+	Time time.Time `json:"time"`
+	// Trace is the session TraceID the event belongs to ("" = untraced).
+	Trace string `json:"trace,omitempty"`
+	Name  string `json:"name"`
+	Attrs []Attr `json:"attrs,omitempty"`
 }
 
 // Metric is one numeric observation. Collector sums observations per name;
@@ -141,13 +182,34 @@ func (t *Tracer) Begin(kind, name string) Span {
 	return Span{ID: t.ids.Add(1), Kind: kind, Name: name, Start: time.Now()}
 }
 
-// BeginChild opens a span parented under another.
+// BeginCtx opens a span inside a session: it carries the context's TraceID
+// and is parented under the context's SpanID. A zero context makes it
+// equivalent to Begin.
+func (t *Tracer) BeginCtx(ctx TraceContext, kind, name string) Span {
+	sp := t.Begin(kind, name)
+	if sp.ID != 0 {
+		sp.Trace = ctx.TraceID
+		sp.Parent = ctx.SpanID
+	}
+	return sp
+}
+
+// BeginChild opens a span parented under another, inheriting its TraceID.
 func (t *Tracer) BeginChild(parent *Span, kind, name string) Span {
 	sp := t.Begin(kind, name)
 	if sp.ID != 0 && parent != nil {
 		sp.Parent = parent.ID
+		sp.Trace = parent.Trace
 	}
 	return sp
+}
+
+// Context returns the TraceContext for parenting children under the span.
+// On the zero Span (disabled tracing) it is the zero context; callers that
+// must keep trace identity alive without a sink build the context from
+// their own TraceID instead.
+func (sp *Span) Context() TraceContext {
+	return TraceContext{TraceID: sp.Trace, SpanID: sp.ID}
 }
 
 // End stamps the span's wall-clock duration and emits it. Spans opened while
@@ -175,6 +237,14 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 		return
 	}
 	t.sink.Event(Event{Time: time.Now(), Name: name, Attrs: attrs})
+}
+
+// EventCtx emits a point-in-time record tagged with the session's TraceID.
+func (t *Tracer) EventCtx(ctx TraceContext, name string, attrs ...Attr) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Event(Event{Time: time.Now(), Trace: ctx.TraceID, Name: name, Attrs: attrs})
 }
 
 // Metric emits one numeric observation.

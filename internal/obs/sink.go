@@ -63,13 +63,21 @@ func writeSpanLine(w io.Writer, sp Span) {
 	if rps := sp.RowsPerSec(); rps > 0 {
 		thru = fmt.Sprintf(" thru=%.0frows/s", rps)
 	}
-	fmt.Fprintf(w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s%s\n",
+	trace := ""
+	if sp.Trace != "" {
+		trace = " trace=" + sp.Trace
+	}
+	fmt.Fprintf(w, "%s[%s] %-40s wall=%.3fms cost=%.1fvms rows=%d→%d%s%s%s\n",
 		indent, sp.Kind, sp.Name, float64(sp.WallNS)/1e6, sp.CostVMS,
-		sp.RowsIn, sp.RowsOut, thru, renderAttrs(sp.Attrs))
+		sp.RowsIn, sp.RowsOut, thru, renderAttrs(sp.Attrs), trace)
 }
 
 func writeEventLine(w io.Writer, ev Event) {
-	fmt.Fprintf(w, "[event] %s%s\n", ev.Name, renderAttrs(ev.Attrs))
+	trace := ""
+	if ev.Trace != "" {
+		trace = " trace=" + ev.Trace
+	}
+	fmt.Fprintf(w, "[event] %s%s%s\n", ev.Name, renderAttrs(ev.Attrs), trace)
 }
 
 func writeMetricLine(w io.Writer, m Metric) {

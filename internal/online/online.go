@@ -260,7 +260,13 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	}
 	cfg := s.cfg.Train
 	cfg.Seed ^= uint64(s.Trainings+1) * 0x9e37
-	sp := s.cfg.Obs.Begin(obs.KindTrain, key)
+	// Trainings are label-stream-driven, not session-driven, so each gets
+	// its own root trace: the train span and its follow-up events self-join.
+	var tctx obs.TraceContext
+	if s.cfg.Obs.Enabled() {
+		tctx = obs.TraceContext{TraceID: obs.NewTraceID()}
+	}
+	sp := s.cfg.Obs.BeginCtx(tctx, obs.KindTrain, key)
 	pp, err := core.Train(key, train, val, cfg)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
@@ -271,7 +277,7 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	sp.SetAttr("approach", pp.Approach)
 	sp.SetAttr("retrain", strconv.FormatBool(st.cb.State() == BreakerOpen))
 	s.cfg.Obs.End(&sp)
-	s.cfg.Obs.Event("online.train", obs.Attr{Key: "clause", Value: key},
+	s.cfg.Obs.EventCtx(tctx, "online.train", obs.Attr{Key: "clause", Value: key},
 		obs.Attr{Key: "labels", Value: strconv.Itoa(len(st.labels))})
 	s.corpus.Add(pp)
 	st.trained = true
@@ -283,7 +289,7 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	}
 	if st.cb.State() == BreakerOpen {
 		st.cb.Probation()
-		s.cfg.Obs.Event("watchdog.probation", obs.Attr{Key: "clause", Value: key})
+		s.cfg.Obs.EventCtx(tctx, "watchdog.probation", obs.Attr{Key: "clause", Value: key})
 		if reg := s.cfg.Metrics; reg != nil {
 			reg.Counter("watchdog_probations_total", "Retrained PPs re-entering service on probation.",
 				metrics.L("clause", key)).Inc()
@@ -306,11 +312,18 @@ func (s *System) TrainedClauses() []string {
 // Decide optimizes a query predicate against the current corpus. During
 // cold start the decision simply does not inject.
 func (s *System) Decide(pred query.Pred, accuracy, udfCost float64) (*optimizer.Decision, error) {
+	return s.DecideCtx(pred, accuracy, udfCost, obs.TraceContext{})
+}
+
+// DecideCtx is Decide carrying the deciding session's trace context, so the
+// plan-search span joins the session's trace.
+func (s *System) DecideCtx(pred query.Pred, accuracy, udfCost float64, ctx obs.TraceContext) (*optimizer.Decision, error) {
 	return s.opt.Optimize(pred, optimizer.Options{
 		Accuracy: accuracy,
 		UDFCost:  udfCost,
 		Domains:  s.cfg.Domains,
 		Obs:      s.cfg.Obs,
+		Trace:    ctx,
 	})
 }
 
@@ -318,6 +331,12 @@ func (s *System) Decide(pred query.Pred, accuracy, udfCost float64) (*optimizer.
 // the optimizer's dependence tracking (A.5).
 func (s *System) ReportRun(dec *optimizer.Decision, observedReduction float64) {
 	s.opt.ObserveRuntime(dec, observedReduction)
+}
+
+// ReportRunCtx is ReportRun with the observing session's trace context
+// (misestimation events carry the session's TraceID).
+func (s *System) ReportRunCtx(dec *optimizer.Decision, observedReduction float64, ctx obs.TraceContext) {
+	s.opt.ObserveRuntimeCtx(dec, observedReduction, ctx)
 }
 
 // ReportAccuracy feeds the realized accuracy of an executed injected
@@ -329,6 +348,13 @@ func (s *System) ReportRun(dec *optimizer.Decision, observedReduction float64) {
 // plan) and the clause retrains on fresh labels before re-entering on
 // probation.
 func (s *System) ReportAccuracy(dec *optimizer.Decision, observed, target float64) {
+	s.ReportAccuracyCtx(dec, observed, target, obs.TraceContext{})
+}
+
+// ReportAccuracyCtx is ReportAccuracy with the reporting session's trace
+// context: watchdog breach/trip/close events carry the session's TraceID, so
+// the query that pushed a clause over the edge is identifiable.
+func (s *System) ReportAccuracyCtx(dec *optimizer.Decision, observed, target float64, ctx obs.TraceContext) {
 	if dec == nil || !dec.Inject {
 		return
 	}
@@ -338,7 +364,7 @@ func (s *System) ReportAccuracy(dec *optimizer.Decision, observed, target float6
 		if st == nil {
 			continue // a PP this system does not manage (e.g. preloaded corpus)
 		}
-		s.reportClause(key, st, pass)
+		s.reportClause(ctx, key, st, pass)
 	}
 }
 
@@ -366,10 +392,10 @@ func (s *System) resolveClause(leaf string) (string, *clauseState) {
 
 // reportClause advances one clause's breaker state machine, mapping the
 // shared Breaker's transitions to the watchdog's side effects.
-func (s *System) reportClause(key string, st *clauseState, pass bool) {
+func (s *System) reportClause(ctx obs.TraceContext, key string, st *clauseState, pass bool) {
 	wasClosed, prevFails := st.cb.State() == BreakerClosed, st.cb.Fails()
 	breach := func() {
-		s.cfg.Obs.Event("watchdog.breach", obs.Attr{Key: "clause", Value: key},
+		s.cfg.Obs.EventCtx(ctx, "watchdog.breach", obs.Attr{Key: "clause", Value: key},
 			obs.Attr{Key: "consecutive", Value: strconv.Itoa(prevFails + 1)})
 		if reg := s.cfg.Metrics; reg != nil {
 			reg.Counter("watchdog_breaches_total", "Below-target accuracy reports while the breaker was closed.",
@@ -386,9 +412,9 @@ func (s *System) reportClause(key string, st *clauseState, pass bool) {
 		if wasClosed {
 			breach()
 		}
-		s.trip(key, st)
+		s.trip(ctx, key, st)
 	case TransitionClose:
-		s.cfg.Obs.Event("watchdog.close", obs.Attr{Key: "clause", Value: key})
+		s.cfg.Obs.EventCtx(ctx, "watchdog.close", obs.Attr{Key: "clause", Value: key})
 		if reg := s.cfg.Metrics; reg != nil {
 			reg.Counter("watchdog_closes_total", "Breakers closed after a passing probation report.",
 				metrics.L("clause", key)).Inc()
@@ -400,12 +426,12 @@ func (s *System) reportClause(key string, st *clauseState, pass bool) {
 // decisions fall back to the NoP plan, and the clause queues for retraining
 // on fresh labels. (The K-th breach also emits a breach event first so the
 // consecutive-miss telemetry stays complete.)
-func (s *System) trip(key string, st *clauseState) {
+func (s *System) trip(ctx obs.TraceContext, key string, st *clauseState) {
 	st.trained = false
 	st.sinceLastTrain = 0
 	s.corpus.Remove(key)
 	s.Trips++
-	s.cfg.Obs.Event("watchdog.trip", obs.Attr{Key: "clause", Value: key},
+	s.cfg.Obs.EventCtx(ctx, "watchdog.trip", obs.Attr{Key: "clause", Value: key},
 		obs.Attr{Key: "trips_total", Value: strconv.Itoa(s.Trips)})
 	s.cfg.Obs.Metric("watchdog.trips", 1)
 	if reg := s.cfg.Metrics; reg != nil {

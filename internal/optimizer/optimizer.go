@@ -37,6 +37,10 @@ type Options struct {
 	// plan-search counters (expressions costed, memo hits, chosen plan
 	// cost/reduction). Nil disables tracing.
 	Obs *obs.Tracer
+	// Trace is the session trace context the search belongs to: the
+	// KindOptimize span carries its TraceID and parents under its SpanID,
+	// tying plan searches to the served session that triggered them.
+	Trace obs.TraceContext
 }
 
 func (o *Options) fill() {
@@ -228,17 +232,17 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 		MemoEntries: memoCount.entries,
 		WallNS:      time.Since(start).Nanoseconds(),
 	}
-	o.emitSearch(opts.Obs, orig, dec)
+	o.emitSearch(opts.Obs, opts.Trace, orig, dec)
 	o.emitSearchMetrics(dec)
 	return dec, nil
 }
 
 // emitSearch publishes one optimization's span and counters.
-func (o *Optimizer) emitSearch(tr *obs.Tracer, pred query.Pred, dec *Decision) {
+func (o *Optimizer) emitSearch(tr *obs.Tracer, ctx obs.TraceContext, pred query.Pred, dec *Decision) {
 	if !tr.Enabled() {
 		return
 	}
-	sp := tr.Begin(obs.KindOptimize, pred.String())
+	sp := tr.BeginCtx(ctx, obs.KindOptimize, pred.String())
 	sp.Start = sp.Start.Add(-time.Duration(dec.Search.WallNS))
 	sp.SetAttr("injected", strconv.FormatBool(dec.Inject))
 	sp.SetAttr("candidates", strconv.Itoa(dec.Search.Costed))
@@ -288,6 +292,13 @@ const (
 // them (A.5's runtime fix). Single-leaf misestimations cannot be blamed on
 // dependence, but they are exactly the drift the telemetry must surface.
 func (o *Optimizer) ObserveRuntime(dec *Decision, observedReduction float64) {
+	o.ObserveRuntimeCtx(dec, observedReduction, obs.TraceContext{})
+}
+
+// ObserveRuntimeCtx is ObserveRuntime with the observing session's trace
+// context: the misestimation event carries the session's TraceID, so a
+// drifted query is attributable from the event stream alone.
+func (o *Optimizer) ObserveRuntimeCtx(dec *Decision, observedReduction float64, ctx obs.TraceContext) {
 	if dec == nil || !dec.Inject {
 		return
 	}
@@ -305,7 +316,7 @@ func (o *Optimizer) ObserveRuntime(dec *Decision, observedReduction float64) {
 		reg.Counter("optimizer_misestimations_total", "Observations whose reduction fell outside the dependence tolerance.").Inc()
 	}
 	if o.tr.Enabled() {
-		o.tr.Event("optimizer.misestimation",
+		o.tr.EventCtx(ctx, "optimizer.misestimation",
 			obs.Attr{Key: "expr", Value: dec.Expr},
 			obs.Attr{Key: "estimated", Value: strconv.FormatFloat(dec.Reduction, 'f', 3, 64)},
 			obs.Attr{Key: "observed", Value: strconv.FormatFloat(observedReduction, 'f', 3, 64)})

@@ -166,6 +166,13 @@ type Reoptimized struct {
 // cost model already carries (§6.2). Thresholds and leaves are untouched, so
 // the returned filter is outcome-equivalent to the input on every blob.
 func (o *Optimizer) Reoptimize(c *Compiled, minRows uint64, tr *obs.Tracer) (*Reoptimized, error) {
+	return o.ReoptimizeCtx(c, minRows, tr, obs.TraceContext{})
+}
+
+// ReoptimizeCtx is Reoptimize with the triggering session's trace context:
+// the optimizer.reoptimize event carries the session's TraceID, linking
+// mid-query replans to the session they rescued.
+func (o *Optimizer) ReoptimizeCtx(c *Compiled, minRows uint64, tr *obs.Tracer, ctx obs.TraceContext) (*Reoptimized, error) {
 	if c == nil {
 		return nil, fmt.Errorf("optimizer: reoptimize of nil filter")
 	}
@@ -195,7 +202,7 @@ func (o *Optimizer) Reoptimize(c *Compiled, minRows uint64, tr *obs.Tracer) (*Re
 		tr = o.tr
 	}
 	if tr.Enabled() {
-		tr.Event("optimizer.reoptimize",
+		tr.EventCtx(ctx, "optimizer.reoptimize",
 			obs.Attr{Key: "old_expr", Value: c.name},
 			obs.Attr{Key: "new_expr", Value: out.Expr},
 			obs.Attr{Key: "changed", Value: strconv.FormatBool(out.Changed)},

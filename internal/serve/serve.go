@@ -30,6 +30,7 @@ import (
 	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
+	"probpred/internal/pplog"
 	"probpred/internal/query"
 )
 
@@ -146,6 +147,11 @@ type Config struct {
 	// Obs receives one KindSession span per request plus the optimizer's
 	// KindOptimize spans for cache-miss searches. Nil disables.
 	Obs *obs.Tracer
+	// QueryLog receives one structured record per completed session (and,
+	// under a sharded Coordinator, one per shard leg), keyed by the
+	// session's TraceID. The writer is bounded and non-blocking: the serve
+	// path never stalls on it. Nil disables.
+	QueryLog *pplog.Writer
 }
 
 func (c *Config) fill() error {
@@ -202,12 +208,31 @@ type Request struct {
 	// Values outside [0,1] are rejected (zero means "use the server
 	// default").
 	Accuracy float64
+	// Trace is the session trace ID to serve under. Empty (the normal case)
+	// makes the server mint one; a sharded Coordinator sets it so every leg
+	// of one scatter-gather session shares the coordinator's TraceID.
+	Trace string
+	// leg identifies the scatter-gather leg this request is (set by the
+	// Coordinator; nil on direct requests).
+	leg *legInfo
+}
+
+// legInfo tags a shard leg: which shard and replica serve it, under which
+// routing policy, and the coordinator span to parent the leg's session span
+// under.
+type legInfo struct {
+	shard, replica int
+	policy         string
+	parent         obs.TraceContext
 }
 
 // Response is one completed session.
 type Response struct {
 	// ID echoes the request label.
 	ID string
+	// TraceID is the session's trace ID: the key every span, event,
+	// histogram exemplar and query-log record of this session shares.
+	TraceID string
 	// Result is the execution outcome (rows + cost accounting).
 	Result *engine.Result
 	// Decision is the optimizer decision the session executed under.
@@ -312,6 +337,13 @@ func (s *Server) Load() (queued, active int64) {
 // split.
 func (s *Server) Do(req Request) (*Response, error) {
 	reg := s.cfg.Metrics
+	// The trace ID is minted before admission so the queue-wait exemplar can
+	// carry it. It exists independently of the tracer: exemplars, the query
+	// log and Response.TraceID key on it even when span collection is off.
+	trace := req.Trace
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
 	enqueued := time.Now()
 	s.queued.Add(1)
 	if reg != nil {
@@ -325,7 +357,7 @@ func (s *Server) Do(req Request) (*Response, error) {
 		reg.Gauge("serve_admission_queue_depth", "Sessions waiting for an execution slot.").Add(-1)
 		reg.Gauge("serve_active_sessions", "Sessions currently executing.").Add(1)
 		reg.Histogram("serve_admission_wait_ns", "Wall nanoseconds a session waited for an execution slot (enqueue to admit).").
-			Observe(float64(admitted.Sub(enqueued)))
+			ObserveExemplar(float64(admitted.Sub(enqueued)), trace)
 	}
 	defer func() {
 		<-s.sem
@@ -340,8 +372,20 @@ func (s *Server) Do(req Request) (*Response, error) {
 	if name == "" {
 		name = req.Pred.String()
 	}
-	span := s.cfg.Obs.Begin(obs.KindSession, name)
-	resp, err := s.serve(req, &span)
+	// A shard leg's session span parents under the coordinator's span;
+	// direct sessions root a fresh trace.
+	parent := obs.TraceContext{TraceID: trace}
+	if req.leg != nil {
+		parent = req.leg.parent
+	}
+	span := s.cfg.Obs.BeginCtx(parent, obs.KindSession, name)
+	if req.leg != nil {
+		span.SetAttr("shard", strconv.Itoa(req.leg.shard))
+		span.SetAttr("replica", strconv.Itoa(req.leg.replica))
+		span.SetAttr("policy", req.leg.policy)
+	}
+	ctx := obs.TraceContext{TraceID: trace, SpanID: span.ID}
+	resp, err := s.serve(req, &span, ctx)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 	}
@@ -349,17 +393,70 @@ func (s *Server) Do(req Request) (*Response, error) {
 	service := time.Since(admitted)
 	if reg != nil {
 		reg.Histogram("serve_service_ns", "Wall nanoseconds a session spent executing (admit to done).").
-			Observe(float64(service))
+			ObserveExemplar(float64(service), trace)
 	}
 	if resp != nil {
+		resp.TraceID = trace
 		resp.QueueWait = admitted.Sub(enqueued)
 		resp.Service = service
 	}
 	s.emitSessionMetrics(resp, err)
+	s.logSession(req, resp, trace, admitted.Sub(enqueued), service, err)
 	return resp, err
 }
 
-func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
+// logSession writes the session's structured query-log record. The write is
+// non-blocking: a full buffer drops the record and bumps the writer's drop
+// counter rather than stalling the serve path.
+func (s *Server) logSession(req Request, resp *Response, trace string, wait, service time.Duration, err error) {
+	if s.cfg.QueryLog == nil {
+		return
+	}
+	acc := req.Accuracy
+	if acc == 0 {
+		acc = s.cfg.Accuracy
+	}
+	rec := pplog.Record{
+		TimeUnixNS:  time.Now().UnixNano(),
+		TraceID:     trace,
+		Session:     req.ID,
+		Accuracy:    acc,
+		QueueWaitNS: wait.Nanoseconds(),
+		ServiceNS:   service.Nanoseconds(),
+	}
+	if req.leg != nil {
+		rec.Leg = &pplog.LegInfo{Shard: req.leg.shard, Replica: req.leg.replica, Policy: req.leg.policy}
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if resp != nil {
+		rec.PlanKey = resp.PlanKey
+		rec.PlanCached = resp.PlanCached
+		if resp.Decision.Inject {
+			rec.EstReduction = resp.Decision.Reduction
+		}
+		if resp.Adapt != nil {
+			rec.AdaptSwaps = len(resp.Adapt.Swaps)
+		}
+		if resp.Result != nil {
+			rec.Rows = len(resp.Result.Rows)
+			rec.ClusterVMS = resp.Result.ClusterTime
+			for _, op := range resp.Result.PerOp {
+				if op.PPFilter {
+					rec.PPTested += op.RowsIn
+					rec.PPPassed += op.RowsOut
+				}
+			}
+			if rec.PPTested > 0 {
+				rec.ObsReduction = 1 - float64(rec.PPPassed)/float64(rec.PPTested)
+			}
+		}
+	}
+	s.cfg.QueryLog.Log(rec)
+}
+
+func (s *Server) serve(req Request, span *obs.Span, ctx obs.TraceContext) (*Response, error) {
 	if req.Pred == nil {
 		return nil, fmt.Errorf("serve: request %q has no predicate", req.ID)
 	}
@@ -374,7 +471,7 @@ func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
 		accuracy = s.cfg.Accuracy
 	}
 	key := optimizer.PlanKey(req.Pred, accuracy)
-	entry, cached, err := s.resolvePlan(req.Pred, accuracy, key)
+	entry, cached, err := s.resolvePlan(req.Pred, accuracy, key, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -389,16 +486,22 @@ func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: build plan for %q: %w", req.Pred.String(), err)
 	}
+	// Every operator and chunk span of this run inherits the session's
+	// trace through the engine config.
+	ecfg := s.cfg.Exec
+	ecfg.Trace = ctx
 	var res *engine.Result
 	var arep *adapt.Report
 	if s.cfg.Adapt != nil && filter != nil {
-		res, arep, err = s.cfg.Adapt.Run(plan, s.cfg.Exec, adapt.RunSpec{
-			Key:   key,
-			Reopt: s.reoptimize,
+		res, arep, err = s.cfg.Adapt.Run(plan, ecfg, adapt.RunSpec{
+			Key: key,
+			Reopt: func(f *optimizer.Compiled, minRows uint64) (*optimizer.Reoptimized, error) {
+				return s.reoptimize(f, minRows, ctx)
+			},
 			Cache: sessionCache{s: s, entry: entry},
 		})
 	} else {
-		res, err = engine.Run(plan, s.cfg.Exec)
+		res, err = engine.Run(plan, ecfg)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: run %q: %w", req.Pred.String(), err)
@@ -420,11 +523,12 @@ func (s *Server) serve(req Request, span *obs.Span) (*Response, error) {
 
 // reoptimize is the adapt controller's optimizer re-entry. It takes the same
 // lock as plan searches: Reoptimize reads optimizer state that Optimize
-// mutates, and neither is safe for concurrent use.
-func (s *Server) reoptimize(f *optimizer.Compiled, minRows uint64) (*optimizer.Reoptimized, error) {
+// mutates, and neither is safe for concurrent use. The session's trace
+// context keys the re-optimization event to the session that triggered it.
+func (s *Server) reoptimize(f *optimizer.Compiled, minRows uint64, ctx obs.TraceContext) (*optimizer.Reoptimized, error) {
 	s.optMu.Lock()
 	defer s.optMu.Unlock()
-	return s.cfg.Optimizer.Reoptimize(f, minRows, s.cfg.Obs)
+	return s.cfg.Optimizer.ReoptimizeCtx(f, minRows, s.cfg.Obs, ctx)
 }
 
 // sessionCache adapts the server's plan cache to adapt.PlanCache for one
@@ -452,7 +556,7 @@ func (c sessionCache) PromotePlan(key string, re *optimizer.Reoptimized) {
 // a session waits on optMu another session may have completed the identical
 // search, and the second lookup turns that into a hit instead of a duplicate
 // search.
-func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string) (*planEntry, bool, error) {
+func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string, ctx obs.TraceContext) (*planEntry, bool, error) {
 	corpus := s.cfg.Optimizer.Corpus()
 	if e, ok := s.plans.get(key, corpus.Version()); ok {
 		s.planHits.Add(1)
@@ -474,6 +578,7 @@ func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string) (*pl
 		UDFCost:  u,
 		Domains:  s.cfg.Domains,
 		Obs:      s.cfg.Obs,
+		Trace:    ctx,
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: optimize %q: %w", pred.String(), err)

@@ -27,6 +27,7 @@ import (
 	"probpred/internal/metrics"
 	"probpred/internal/obs"
 	"probpred/internal/optimizer"
+	"probpred/internal/pplog"
 )
 
 // ShardedConfig configures a Coordinator.
@@ -172,6 +173,25 @@ func (c *Coordinator) Do(req Request) (*Response, error) {
 	}
 	key := optimizer.PlanKey(req.Pred, accuracy)
 	c.sessions.Add(1)
+
+	// One trace for the whole scatter: the coordinator mints it (or adopts
+	// the caller's), every leg serves under it, and the coordinator span is
+	// the parent every leg session span hangs off.
+	tr := c.cfg.Base.Obs
+	trace := req.Trace
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	name := req.ID
+	if name == "" {
+		name = req.Pred.String()
+	}
+	policy := c.router.Name()
+	span := tr.BeginCtx(obs.TraceContext{TraceID: trace}, obs.KindSession, name)
+	span.SetAttr("scatter", strconv.Itoa(len(c.shards)))
+	span.SetAttr("policy", policy)
+	span.SetAttr("plan_key", key)
+	ctx := obs.TraceContext{TraceID: trace, SpanID: span.ID}
 	start := time.Now()
 
 	legs := make([]leg, len(c.shards))
@@ -186,7 +206,10 @@ func (c *Coordinator) Do(req Request) (*Response, error) {
 		wg.Add(1)
 		go func(l *leg, srv *Server) {
 			defer wg.Done()
-			l.resp, l.err = srv.Do(req)
+			lreq := req
+			lreq.Trace = trace
+			lreq.leg = &legInfo{shard: l.shard, replica: l.replica, policy: policy, parent: ctx}
+			l.resp, l.err = srv.Do(lreq)
 		}(&legs[i], sh.replicas[pick])
 	}
 	wg.Wait()
@@ -198,16 +221,86 @@ func (c *Coordinator) Do(req Request) (*Response, error) {
 	for i := range legs {
 		if legs[i].err != nil {
 			failed = append(failed, fmt.Errorf("shard %d (replica %d): %w", legs[i].shard, legs[i].replica, legs[i].err))
-			c.recordShardFailure(legs[i].shard, legs[i].err)
+			c.recordShardFailure(ctx, legs[i].shard, legs[i].err)
 		}
 	}
 	if len(failed) > 0 {
 		c.failures.Add(1)
-		return nil, fmt.Errorf("serve: scatter %q: %w", req.ID, errors.Join(failed...))
+		err := fmt.Errorf("serve: scatter %q: %w", req.ID, errors.Join(failed...))
+		span.SetAttr("error", err.Error())
+		tr.End(&span)
+		c.logScatter(req, nil, legs, trace, key, time.Since(start), err)
+		return nil, err
 	}
 	resp := mergeLegs(legs)
 	resp.Service = time.Since(start)
+	resp.TraceID = trace
+	span.RowsOut = len(resp.Result.Rows)
+	span.CostVMS = resp.Result.ClusterTime
+	tr.End(&span)
+	c.logScatter(req, resp, legs, trace, key, resp.Service, nil)
 	return resp, nil
+}
+
+// logScatter writes the coordinator's merged query-log record: the session
+// view (Leg nil) with per-leg timings attached. Each leg's replica server has
+// already written its own leg record under the same TraceID.
+func (c *Coordinator) logScatter(req Request, resp *Response, legs []leg, trace, key string, service time.Duration, err error) {
+	qlog := c.cfg.Base.QueryLog
+	if qlog == nil {
+		return
+	}
+	acc := req.Accuracy
+	if acc == 0 {
+		acc = c.accuracy
+	}
+	rec := pplog.Record{
+		TimeUnixNS: time.Now().UnixNano(),
+		TraceID:    trace,
+		Session:    req.ID,
+		PlanKey:    key,
+		Accuracy:   acc,
+		ServiceNS:  service.Nanoseconds(),
+		Policy:     c.router.Name(),
+	}
+	for i := range legs {
+		l := pplog.Leg{Shard: legs[i].shard, Replica: legs[i].replica}
+		if r := legs[i].resp; r != nil {
+			l.QueueWaitNS = r.QueueWait.Nanoseconds()
+			l.ServiceNS = r.Service.Nanoseconds()
+			if r.Result != nil {
+				l.Rows = len(r.Result.Rows)
+			}
+		}
+		if legs[i].err != nil {
+			l.Error = legs[i].err.Error()
+		}
+		rec.Legs = append(rec.Legs, l)
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if resp != nil {
+		rec.PlanCached = resp.PlanCached
+		rec.QueueWaitNS = resp.QueueWait.Nanoseconds()
+		if resp.Result != nil {
+			rec.Rows = len(resp.Result.Rows)
+			rec.ClusterVMS = resp.Result.ClusterTime
+			for _, op := range resp.Result.PerOp {
+				if op.PPFilter {
+					rec.PPTested += op.RowsIn
+					rec.PPPassed += op.RowsOut
+				}
+			}
+			if rec.PPTested > 0 {
+				rec.ObsReduction = 1 - float64(rec.PPPassed)/float64(rec.PPTested)
+			}
+		}
+		if resp.Decision.Inject {
+			rec.EstReduction = resp.Decision.Reduction
+		}
+	}
+	qlog.Log(rec)
 }
 
 // mergeLegs gathers successful legs (shard-index order) into one response.
@@ -324,12 +417,12 @@ func (c *Coordinator) publishShardLoad(shardIdx int) {
 
 // recordShardFailure counts a failed leg and emits the shard.fail event that
 // trips FlightRecorder auto-dump, so the trace ring around the failure is
-// preserved.
-func (c *Coordinator) recordShardFailure(shardIdx int, err error) {
+// preserved. The event carries the session's trace context.
+func (c *Coordinator) recordShardFailure(ctx obs.TraceContext, shardIdx int, err error) {
 	if reg := c.cfg.Base.Metrics; reg != nil {
 		reg.Counter("serve_shard_failures_total", "Scatter legs that failed, by shard.", shardLabel(shardIdx)).Inc()
 	}
-	c.cfg.Base.Obs.Event("shard.fail",
+	c.cfg.Base.Obs.EventCtx(ctx, "shard.fail",
 		obs.Attr{Key: "shard", Value: strconv.Itoa(shardIdx)},
 		obs.Attr{Key: "error", Value: err.Error()})
 }
