@@ -6,6 +6,7 @@
 //	ppbench [-exp all|fig9,table4,...] [-seed N] [-quick]
 //	        [-json BENCH_pp.json] [-hotpath BENCH_hotpath.json]
 //	        [-serve BENCH_serve.json] [-adaptive BENCH_adaptive.json]
+//	        [-stream BENCH_stream.json]
 //	        [-latency BENCH_latency.json] [-shard BENCH_shard.json]
 //	        [-obs BENCH_obs.json] [-querylog querylog.jsonl]
 //	        [-pprof localhost:6060] [-metrics localhost:9090] [-hold]
@@ -47,6 +48,7 @@ func main() {
 	hotpathPath := flag.String("hotpath", "", "measure the scalar-vs-batch scoring hot path and write BENCH_hotpath.json to this path")
 	servePath := flag.String("serve", "", "replay the TRAF20 workload through the serving layer (score cache off vs on) and write BENCH_serve.json to this path")
 	adaptivePath := flag.String("adaptive", "", "run a drifted stream with and without mid-query re-optimization and write BENCH_adaptive.json to this path")
+	streamPath := flag.String("stream", "", "run streaming ingestion under a mid-run label inversion (watchdog trip/retrain/recovery, backfill-vs-live) and write BENCH_stream.json to this path")
 	latencyPath := flag.String("latency", "", "drive the serving layer with an open-loop load generator (rate x concurrency sweep, PP on/off variants) and write BENCH_latency.json to this path")
 	shardPath := flag.String("shard", "", "run the sharded scatter-gather determinism checks and throughput sweep and write BENCH_shard.json to this path")
 	obsPath := flag.String("obs", "", "replay the TRAF20 workload with tracing + query log on, run the pplog analyzer and write BENCH_obs.json to this path")
@@ -142,6 +144,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote adaptive report to %s\n", *adaptivePath)
+		return
+	}
+	if *streamPath != "" {
+		doc, rep, err := bench.RunStreamBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		f, err := os.Create(*streamPath)
+		if err == nil {
+			err = doc.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote stream report to %s\n", *streamPath)
 		return
 	}
 	if *latencyPath != "" {

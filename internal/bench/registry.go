@@ -33,6 +33,7 @@ var Experiments = map[string]Runner{
 	"latency":         Latency,
 	"shard":           Shard,
 	"obs":             Obs,
+	"stream":          Stream,
 }
 
 // Order lists experiment ids in the paper's order.
@@ -43,6 +44,7 @@ var Order = []string{
 	"table12", "table13", "fig15", "coverage", "drift",
 	"ablation-budget", "ablation-order", "ablation-k", "ablation-model",
 	"faults", "hotpath", "serve", "adapt", "latency", "shard", "obs",
+	"stream",
 }
 
 // Run executes one experiment by id.

@@ -1,0 +1,431 @@
+package bench
+
+// Stream is the streaming-ingestion drift scenario (DESIGN.md "Streaming
+// ingestion", ROADMAP item 4): a segment-versioned corpus whose label
+// distribution inverts mid-stream, served by standing queries whose PP is
+// trained incrementally — warm-started — segment by segment. The experiment
+// shows the full watchdog arc (trip on drift → NoP fallback → retrain on
+// fresh labels → probation → close) with the per-segment cluster cost ratio
+// against the NoP plan recovering below 0.8 once the retrained PP is live,
+// plus a frozen-corpus check that per-segment deltas concatenate
+// byte-identically to the one-shot batch query. CI gates on backfill
+// equivalence, the trip happening, the breaker closing again, post-recovery
+// accuracy >= target and post-recovery cost ratio <= 0.8.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"probpred/internal/blob"
+	"probpred/internal/core"
+	"probpred/internal/engine"
+	"probpred/internal/mathx"
+	"probpred/internal/online"
+	"probpred/internal/optimizer"
+	"probpred/internal/query"
+	"probpred/internal/serve"
+	"probpred/internal/stream"
+)
+
+// A stream blob carries two features: x0 ∈ [0,1) and a regime bit. Ground
+// truth is s = 80·x0 in regime 0 and s = 80·(1−x0) in regime 1, so a PP
+// trained before the inversion is exactly anti-correlated with truth after
+// it — the worst-case drift the watchdog exists for.
+func segStreamBlobs(n int, seed uint64, startID int, inverted bool) []blob.Blob {
+	rng := mathx.NewRNG(seed)
+	out := make([]blob.Blob, n)
+	reg := 0.0
+	if inverted {
+		reg = 1
+	}
+	for i := range out {
+		out[i] = blob.FromDense(startID+i, mathx.Vec{rng.Float64(), reg})
+	}
+	return out
+}
+
+func segStreamLookup(b blob.Blob) query.Lookup {
+	return func(col string) (query.Value, bool) {
+		if col != "s" {
+			return query.Value{}, false
+		}
+		x := b.Dense[0]
+		if b.Dense[1] != 0 {
+			x = 1 - x
+		}
+		return query.Number(80 * x), true
+	}
+}
+
+// segStreamUDF materializes the s column — the expensive stage the PP
+// short-circuits.
+type segStreamUDF struct{ cost float64 }
+
+func (u segStreamUDF) Name() string  { return "speedUDF" }
+func (u segStreamUDF) Cost() float64 { return u.cost }
+func (u segStreamUDF) Apply(r engine.Row) ([]engine.Row, error) {
+	v, _ := segStreamLookup(r.Blob)("s")
+	return []engine.Row{r.With("s", v)}, nil
+}
+
+// segStreamBuilder implements serve.CorpusBuilder over any blob slice:
+// scan → [PP filter] → UDF → σ.
+type segStreamBuilder struct{ udf engine.Processor }
+
+func (b *segStreamBuilder) UDFCost(query.Pred) (float64, error) { return b.udf.Cost(), nil }
+
+func (b *segStreamBuilder) BuildOver(blobs []blob.Blob, pred query.Pred, filter engine.BlobFilter) (engine.Plan, error) {
+	ops := []engine.Operator{&engine.Scan{Blobs: blobs}}
+	if filter != nil {
+		ops = append(ops, &engine.PPFilter{F: filter})
+	}
+	ops = append(ops, &engine.Process{P: b.udf}, &engine.Select{Pred: pred})
+	return engine.Plan{Ops: ops}, nil
+}
+
+// StreamSegment is one ingested segment's outcome.
+type StreamSegment struct {
+	Index   int    `json:"index"`
+	Version uint64 `json:"version"`
+	// Regime is 0 before the label inversion, 1 after.
+	Regime int `json:"regime"`
+	Blobs  int `json:"blobs"`
+	Rows   int `json:"rows"`
+	// Injected reports whether the standing query ran with a PP filter.
+	Injected bool `json:"injected"`
+	// Accuracy is the audited realized accuracy (retained/expected); -1 when
+	// the segment carried no accuracy evidence.
+	Accuracy float64 `json:"accuracy"`
+	// ClusterVMS / NoPClusterVMS are the segment's virtual cluster costs
+	// with the standing query's plan and with the PP-less baseline plan.
+	ClusterVMS    float64 `json:"cluster_vms"`
+	NoPClusterVMS float64 `json:"nop_cluster_vms"`
+	// CostRatio is ClusterVMS / NoPClusterVMS.
+	CostRatio float64 `json:"cost_ratio"`
+	// Breaker is the watchdog circuit state after the segment landed.
+	Breaker string `json:"breaker"`
+	// Trainings / Trips are cumulative counts after the segment.
+	Trainings int `json:"trainings"`
+	Trips     int `json:"trips"`
+}
+
+// StreamDoc is the machine-readable report written to BENCH_stream.json.
+type StreamDoc struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	Quick       bool   `json:"quick"`
+
+	Clause   string  `json:"clause"`
+	Accuracy float64 `json:"accuracy"`
+	// Margin is the watchdog's accuracy slack: a segment is healthy when
+	// observed >= Accuracy - Margin, which is also the CI recovery gate.
+	Margin   float64 `json:"margin"`
+	SegSize  int     `json:"seg_size"`
+	Segments int     `json:"segments"`
+	// DriftAt is the segment index at which the label distribution inverts.
+	DriftAt int `json:"drift_at"`
+
+	Timeline []StreamSegment `json:"timeline"`
+
+	Trainings int `json:"trainings"`
+	Trips     int `json:"trips"`
+	// WatchdogTripped: the inversion tripped the clause's breaker.
+	WatchdogTripped bool `json:"watchdog_tripped"`
+	// WatchdogRecovered: a post-trip retraining ran and the breaker closed
+	// again by the end of the stream.
+	WatchdogRecovered bool `json:"watchdog_recovered"`
+	// PreDriftCostRatio / RecoveredCostRatio are mean per-segment cost
+	// ratios over the healthy pre-drift window and the final window after
+	// recovery. CI requires RecoveredCostRatio <= 0.8.
+	PreDriftCostRatio  float64 `json:"pre_drift_cost_ratio"`
+	RecoveredCostRatio float64 `json:"recovered_cost_ratio"`
+	// RecoveredAccuracy is the mean audited accuracy over the post-recovery
+	// window. CI requires >= Accuracy.
+	RecoveredAccuracy float64 `json:"recovered_accuracy"`
+
+	// BackfillSegments / BackfillEqual report the frozen-corpus equivalence
+	// pass: per-segment deltas concatenated across BackfillSegments segments
+	// versus the one-shot batch query, byte-compared. CI requires true.
+	BackfillSegments int  `json:"backfill_segments"`
+	BackfillEqual    bool `json:"backfill_equal"`
+}
+
+// Write serders the document as indented JSON.
+func (d *StreamDoc) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// renderStreamRows flattens result rows to the byte-comparison primitive.
+func renderStreamRows(resp *serve.Response) string {
+	var sb strings.Builder
+	for _, r := range resp.Result.Rows {
+		fmt.Fprintf(&sb, "%d:%v;", r.Blob.ID, r.Cols)
+	}
+	return sb.String()
+}
+
+// RunStreamBench runs the drift scenario and the frozen-corpus backfill
+// equivalence pass, returning the JSON document plus a rendered report.
+func RunStreamBench(cfg Config) (*StreamDoc, *Report, error) {
+	const (
+		clause   = "s>40"
+		accuracy = 0.9
+		udfCost  = 40.0
+		workers  = 4
+	)
+	segSize := cfg.scale(400, 150)
+	nSegs := cfg.scale(30, 20)
+	// The inversion lands one segment after a scheduled retraining (the
+	// cadence is every 4 segments, with the cold start at segment 0), so
+	// the stale model serves K=3 breaching segments before the next
+	// scheduled retraining could silently absorb the drift — the watchdog,
+	// not the schedule, must catch it.
+	driftAt := (nSegs/2/4)*4 + 1
+
+	sys, err := online.New(online.Config{
+		Clauses:   []string{clause},
+		MinLabels: segSize,
+		// Scheduled (warm) retrainings run every 4 segments: incremental
+		// enough to track slow drift, slow enough that the mid-run label
+		// inversion accumulates K consecutive breaches and demonstrably
+		// trips the watchdog instead of being silently absorbed by the next
+		// scheduled retraining.
+		RetrainEvery: 4 * segSize,
+		BufferCap:    segSize + segSize/2,
+		Train:        core.TrainConfig{Approach: "Raw+SVM", Seed: cfg.Seed + 1},
+		WarmStart:    true,
+		Seed:         cfg.Seed + 2,
+		Watchdog:     online.WatchdogConfig{K: 3, Margin: 0.08, FreshLabels: segSize + segSize/2},
+		Metrics:      cfg.Metrics,
+		Obs:          cfg.Obs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	builder := &segStreamBuilder{udf: segStreamUDF{cost: udfCost}}
+	exec := engine.Config{NoStageOverhead: true, Workers: workers, Obs: cfg.Obs, Metrics: cfg.Metrics}
+	srv, err := serve.New(serve.Config{
+		Optimizer: optimizer.New(sys.Corpus()),
+		Corpus:    builder,
+		Accuracy:  accuracy,
+		Exec:      exec,
+		Metrics:   cfg.Metrics,
+		Obs:       cfg.Obs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ing, err := stream.New(stream.Config{
+		Server:  srv,
+		Corpus:  stream.NewSegmentedCorpus(),
+		Online:  sys,
+		Lookup:  segStreamLookup,
+		Seed:    cfg.Seed + 3,
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pred := query.MustParse(clause)
+	if err := ing.Register(stream.Query{ID: "SQ", Pred: clause, Accuracy: accuracy}); err != nil {
+		return nil, nil, err
+	}
+
+	doc := &StreamDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Seed:        cfg.Seed,
+		Quick:       cfg.Quick,
+		Clause:      clause,
+		Accuracy:    accuracy,
+		Margin:      0.08,
+		SegSize:     segSize,
+		Segments:    nSegs,
+		DriftAt:     driftAt,
+	}
+
+	for i := 0; i < nSegs; i++ {
+		inverted := i >= driftAt
+		blobs := segStreamBlobs(segSize, cfg.Seed+100+uint64(i), i*segSize, inverted)
+		deltas, err := ing.Ingest(blobs)
+		if err != nil {
+			return nil, nil, err
+		}
+		d := deltas[0]
+
+		// NoP baseline: the same segment through the unmodified plan.
+		nopPlan, err := builder.BuildOver(blobs, pred, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		nop, err := engine.Run(nopPlan, exec)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		seg := StreamSegment{
+			Index:         d.Segment.Index,
+			Version:       d.Segment.Version,
+			Blobs:         d.Segment.Len(),
+			Rows:          len(d.Resp.Result.Rows),
+			Injected:      d.Resp.Decision.Inject,
+			Accuracy:      -1,
+			ClusterVMS:    d.Resp.Result.ClusterTime,
+			NoPClusterVMS: nop.ClusterTime,
+			Breaker:       sys.Breaker(clause).String(),
+			Trainings:     sys.Trainings,
+			Trips:         sys.Trips,
+		}
+		if inverted {
+			seg.Regime = 1
+		}
+		if d.Audited {
+			seg.Accuracy = d.Observed
+		}
+		if nop.ClusterTime > 0 {
+			seg.CostRatio = d.Resp.Result.ClusterTime / nop.ClusterTime
+		}
+		doc.Timeline = append(doc.Timeline, seg)
+	}
+
+	doc.Trainings = sys.Trainings
+	doc.Trips = sys.Trips
+	doc.WatchdogTripped = sys.Trips > 0
+
+	// Windows: pre-drift segments served under an injected PP; the recovered
+	// window is everything after the last breaker transition back to closed
+	// following the trip.
+	var pre []StreamSegment
+	for _, s := range doc.Timeline[:driftAt] {
+		if s.Injected {
+			pre = append(pre, s)
+		}
+	}
+	recoveredFrom := -1
+	for i := driftAt; i < len(doc.Timeline); i++ {
+		s := doc.Timeline[i]
+		if s.Trips > 0 && s.Breaker == "closed" && s.Trainings > doc.Timeline[driftAt-1].Trainings {
+			recoveredFrom = i
+			break
+		}
+	}
+	doc.WatchdogRecovered = recoveredFrom >= 0 && doc.Timeline[len(doc.Timeline)-1].Breaker == "closed"
+	mean := func(segs []StreamSegment, f func(StreamSegment) float64) float64 {
+		if len(segs) == 0 {
+			return 0
+		}
+		var t float64
+		for _, s := range segs {
+			t += f(s)
+		}
+		return t / float64(len(segs))
+	}
+	doc.PreDriftCostRatio = mean(pre, func(s StreamSegment) float64 { return s.CostRatio })
+	if recoveredFrom >= 0 {
+		rec := doc.Timeline[recoveredFrom:]
+		doc.RecoveredCostRatio = mean(rec, func(s StreamSegment) float64 { return s.CostRatio })
+		var audited []StreamSegment
+		for _, s := range rec {
+			if s.Accuracy >= 0 {
+				audited = append(audited, s)
+			}
+		}
+		doc.RecoveredAccuracy = mean(audited, func(s StreamSegment) float64 { return s.Accuracy })
+	}
+
+	// Frozen-corpus backfill equivalence: a fresh server over the trained
+	// corpus (no online loop, so PP state is frozen), fed segment-by-segment
+	// and compared byte-for-byte against the one-shot batch query.
+	doc.BackfillSegments = 4
+	eq, err := streamBackfillEqual(sys.Corpus(), builder, exec, accuracy, clause, cfg, doc.BackfillSegments)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc.BackfillEqual = eq
+
+	rep := &Report{ID: "stream", Title: fmt.Sprintf(
+		"Streaming ingestion under drift: %s over %d segments x %d blobs (inversion at segment %d)",
+		clause, nSegs, segSize, driftAt)}
+	tb := &table{header: []string{"seg", "regime", "rows", "acc", "cost ratio", "breaker", "trainings", "trips"}}
+	for _, s := range doc.Timeline {
+		acc := "-"
+		if s.Accuracy >= 0 {
+			acc = fmt.Sprintf("%.3f", s.Accuracy)
+		}
+		tb.add(fmt.Sprintf("%d", s.Index), fmt.Sprintf("%d", s.Regime), fmt.Sprintf("%d", s.Rows),
+			acc, fmt.Sprintf("%.3f", s.CostRatio), s.Breaker,
+			fmt.Sprintf("%d", s.Trainings), fmt.Sprintf("%d", s.Trips))
+	}
+	rep.Lines = tb.render()
+	rep.Lines = append(rep.Lines, "",
+		fmt.Sprintf("trip -> retrain -> recovery: tripped=%v recovered=%v trainings=%d",
+			doc.WatchdogTripped, doc.WatchdogRecovered, doc.Trainings),
+		fmt.Sprintf("cost ratio vs NoP: pre-drift %.3f, post-recovery %.3f   post-recovery accuracy %.3f (target %.2f)",
+			doc.PreDriftCostRatio, doc.RecoveredCostRatio, doc.RecoveredAccuracy, doc.Accuracy),
+		fmt.Sprintf("backfill == live over %d frozen segments: %v", doc.BackfillSegments, doc.BackfillEqual))
+	rep.metric("watchdog_tripped", b2f(doc.WatchdogTripped))
+	rep.metric("watchdog_recovered", b2f(doc.WatchdogRecovered))
+	rep.metric("pre_drift_cost_ratio", doc.PreDriftCostRatio)
+	rep.metric("recovered_cost_ratio", doc.RecoveredCostRatio)
+	rep.metric("recovered_accuracy", doc.RecoveredAccuracy)
+	rep.metric("backfill_equal", b2f(doc.BackfillEqual))
+	rep.metric("trainings", float64(doc.Trainings))
+	return doc, rep, nil
+}
+
+// streamBackfillEqual ingests mixed-regime segments through a frozen stack
+// and byte-compares concatenated deltas against the batch query.
+func streamBackfillEqual(corpus *optimizer.Corpus, builder serve.CorpusBuilder, exec engine.Config,
+	accuracy float64, clause string, cfg Config, nSegs int) (bool, error) {
+	srv, err := serve.New(serve.Config{
+		Optimizer: optimizer.New(corpus),
+		Corpus:    builder,
+		Accuracy:  accuracy,
+		Exec:      exec,
+	})
+	if err != nil {
+		return false, err
+	}
+	ing, err := stream.New(stream.Config{Server: srv, Corpus: stream.NewSegmentedCorpus()})
+	if err != nil {
+		return false, err
+	}
+	if err := ing.Register(stream.Query{ID: "BF", Pred: clause, Accuracy: accuracy}); err != nil {
+		return false, err
+	}
+	var live strings.Builder
+	segSize := cfg.scale(300, 100)
+	for i := 0; i < nSegs; i++ {
+		blobs := segStreamBlobs(segSize, cfg.Seed+900+uint64(i), i*segSize, i%2 == 1)
+		deltas, err := ing.Ingest(blobs)
+		if err != nil {
+			return false, err
+		}
+		live.WriteString(renderStreamRows(deltas[0].Resp))
+	}
+	batch, err := ing.BatchQuery("BF")
+	if err != nil {
+		return false, err
+	}
+	return live.String() == renderStreamRows(batch), nil
+}
+
+// Stream is the registry wrapper: it runs the drift scenario and returns
+// just the report (cmd/ppbench -stream also writes the JSON document).
+func Stream(cfg Config) (*Report, error) {
+	_, rep, err := RunStreamBench(cfg)
+	return rep, err
+}

@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// TestStreamBenchQuick runs the drift scenario at quick scale and asserts
+// the gated claims end-to-end: the inversion trips the watchdog, the breaker
+// recovers through retraining and probation, post-recovery accuracy is
+// healthy by the watchdog's own criterion, the recovered PP restores the
+// cost win, and frozen-corpus backfill equals live ingestion byte-for-byte.
+func TestStreamBenchQuick(t *testing.T) {
+	doc, rep, err := RunStreamBench(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "stream" || len(rep.Lines) == 0 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	if !doc.WatchdogTripped {
+		t.Error("label inversion did not trip the watchdog")
+	}
+	if !doc.WatchdogRecovered {
+		t.Error("watchdog did not recover (retrain + probation close)")
+	}
+	if doc.RecoveredAccuracy < doc.Accuracy-doc.Margin {
+		t.Errorf("post-recovery accuracy %.3f below healthy threshold %.3f",
+			doc.RecoveredAccuracy, doc.Accuracy-doc.Margin)
+	}
+	if doc.RecoveredCostRatio <= 0 || doc.RecoveredCostRatio > 0.8 {
+		t.Errorf("post-recovery cost ratio %.3f, want (0, 0.8]", doc.RecoveredCostRatio)
+	}
+	if doc.PreDriftCostRatio <= 0 || doc.PreDriftCostRatio > 0.8 {
+		t.Errorf("pre-drift cost ratio %.3f, want (0, 0.8]", doc.PreDriftCostRatio)
+	}
+	if !doc.BackfillEqual {
+		t.Error("frozen-corpus backfill != live deltas")
+	}
+	if len(doc.Timeline) != doc.Segments {
+		t.Fatalf("timeline has %d segments, want %d", len(doc.Timeline), doc.Segments)
+	}
+	// A segment is served under the breaker state left by the previous
+	// segment's train phase: after an "open" segment the next one must run
+	// without injection (the NoP fallback).
+	sawOpen := false
+	for i, s := range doc.Timeline {
+		if s.Breaker != "open" {
+			continue
+		}
+		sawOpen = true
+		if i+1 < len(doc.Timeline) && doc.Timeline[i+1].Trainings == s.Trainings && doc.Timeline[i+1].Injected {
+			t.Errorf("segment %d served with an injected PP right after the breaker opened", i+1)
+		}
+	}
+	if !sawOpen {
+		t.Error("timeline never shows the breaker open")
+	}
+	// Warm-started incremental retraining: more trainings than the single
+	// cold start plus the post-trip retrain.
+	if doc.Trainings < 4 {
+		t.Errorf("Trainings = %d, want scheduled incremental retrainings", doc.Trainings)
+	}
+}

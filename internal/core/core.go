@@ -61,6 +61,15 @@ type TrainConfig struct {
 	SelectionAccuracy float64
 	// Seed drives all randomized steps.
 	Seed uint64
+	// Warm, when non-nil, warm-starts training from a previously trained PP:
+	// the prior PP's reducer is reused (freezing the feature space so learned
+	// weights stay meaningful) and, for SVM classifiers, the prior weights
+	// seed the optimization. Incremental per-segment training over a stream
+	// uses it so each retraining fine-tunes the previous segment's model on
+	// fresh labels instead of relearning from scratch. The warm PP's approach
+	// wins model selection when Approach is empty; a negation-derived or
+	// approach-mismatched warm PP is ignored (cold start).
+	Warm *PP
 	// Metrics (optional) records per-approach training counts and wall-clock
 	// histograms. Nil disables.
 	Metrics *metrics.Registry
@@ -195,10 +204,17 @@ func Train(clause string, train, val blob.Set, cfg TrainConfig) (*PP, error) {
 	}
 	approach := cfg.Approach
 	if approach == "" {
-		var err error
-		approach, err = SelectApproach(train, val, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: selecting approach for %q: %w", clause, err)
+		if cfg.Warm != nil && !cfg.Warm.negated {
+			// A warm start pins the approach: switching families would throw
+			// away the carried-over model anyway, and skipping selection is
+			// most of the point of incremental retraining.
+			approach = cfg.Warm.Approach
+		} else {
+			var err error
+			approach, err = SelectApproach(train, val, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: selecting approach for %q: %w", clause, err)
+			}
 		}
 	}
 	start := time.Now()
@@ -229,11 +245,24 @@ func Train(clause string, train, val blob.Set, cfg TrainConfig) (*PP, error) {
 }
 
 // trainApproach builds the reducer and classifier for one named approach.
+// A compatible cfg.Warm (same approach, not negation-derived) contributes
+// its reducer — freezing the feature space across retrainings — and, for
+// SVM, its weights as the optimization's starting point.
 func trainApproach(approach string, train blob.Set, cfg TrainConfig) (dimred.Reducer, Scorer, error) {
 	redName, clsName := splitApproach(approach)
-	reducer, err := buildReducer(redName, train, cfg)
-	if err != nil {
-		return nil, nil, err
+	warm := cfg.Warm
+	if warm != nil && (warm.negated || warm.Approach != approach) {
+		warm = nil
+	}
+	var reducer dimred.Reducer
+	var err error
+	if warm != nil {
+		reducer = warm.reducer
+	} else {
+		reducer, err = buildReducer(redName, train, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	xs := make([]mathx.Vec, train.Len())
 	for i, b := range train.Blobs {
@@ -244,6 +273,11 @@ func trainApproach(approach string, train blob.Set, cfg TrainConfig) (dimred.Red
 	case "SVM":
 		c := cfg.SVM
 		c.Seed ^= cfg.Seed
+		if warm != nil {
+			if m, ok := warm.scorer.(*svm.Model); ok {
+				c.Warm = m
+			}
+		}
 		m, err := svm.Train(xs, train.Labels, c)
 		if err != nil {
 			return nil, nil, err

@@ -56,6 +56,12 @@ type Config struct {
 	BufferCap int
 	// Train passes through PP construction settings.
 	Train core.TrainConfig
+	// WarmStart makes every scheduled retraining start from the clause's
+	// previous PP (core.TrainConfig.Warm): the feature space is frozen and
+	// SVM weights carry over, so per-segment incremental training fine-tunes
+	// instead of relearning. Watchdog-triggered retrainings always start
+	// cold — the carried-over model is the one that just breached.
+	WarmStart bool
 	// Domains feeds the optimizer's wrangler.
 	Domains map[string][]query.Value
 	// Seed drives splits.
@@ -144,6 +150,10 @@ type clauseState struct {
 	labels         []bool
 	sinceLastTrain int
 	trained        bool
+	// lastPP is the most recent PP trained for the clause, kept as the warm
+	// start of the next scheduled retraining (nil after a watchdog trip:
+	// retraining must not fine-tune the model that breached).
+	lastPP *core.PP
 	// cb is the clause's accuracy circuit (the shared Breaker state machine);
 	// the watchdog maps its transitions to corpus side effects.
 	cb *Breaker
@@ -260,6 +270,9 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 	}
 	cfg := s.cfg.Train
 	cfg.Seed ^= uint64(s.Trainings+1) * 0x9e37
+	if s.cfg.WarmStart {
+		cfg.Warm = st.lastPP
+	}
 	// Trainings are label-stream-driven, not session-driven, so each gets
 	// its own root trace: the train span and its follow-up events self-join.
 	var tctx obs.TraceContext
@@ -281,6 +294,7 @@ func (s *System) maybeTrain(key string, st *clauseState) error {
 		obs.Attr{Key: "labels", Value: strconv.Itoa(len(st.labels))})
 	s.corpus.Add(pp)
 	st.trained = true
+	st.lastPP = pp
 	st.sinceLastTrain = 0
 	s.Trainings++
 	if reg := s.cfg.Metrics; reg != nil {
@@ -428,6 +442,7 @@ func (s *System) reportClause(ctx obs.TraceContext, key string, st *clauseState,
 // consecutive-miss telemetry stays complete.)
 func (s *System) trip(ctx obs.TraceContext, key string, st *clauseState) {
 	st.trained = false
+	st.lastPP = nil // the breaching model must not seed the retraining
 	st.sinceLastTrain = 0
 	s.corpus.Remove(key)
 	s.Trips++

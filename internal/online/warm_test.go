@@ -1,0 +1,95 @@
+package online
+
+// Warm-start plumbing: scheduled retrainings carry the previous PP forward
+// as the next training's warm start; a watchdog trip severs the chain (the
+// breaching model must never seed its own replacement).
+
+import (
+	"testing"
+
+	"probpred/internal/core"
+	"probpred/internal/data"
+	"probpred/internal/query"
+)
+
+func newWarmSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(Config{
+		Clauses:      []string{"s>60"},
+		MinLabels:    300,
+		RetrainEvery: 300,
+		BufferCap:    600,
+		Train:        core.TrainConfig{Approach: "Raw+SVM"},
+		WarmStart:    true,
+		Domains:      data.TrafficDomains(),
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWarmStartCarriesLastPP(t *testing.T) {
+	s := newWarmSystem(t)
+	stream := data.Traffic(data.TrafficConfig{Rows: 1000, Seed: 3})
+	for _, b := range stream[:400] {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.clauses["s>60"]
+	if s.Trainings != 1 || st.lastPP == nil {
+		t.Fatalf("after first training: Trainings=%d lastPP=%v", s.Trainings, st.lastPP)
+	}
+	first := st.lastPP
+	for _, b := range stream[400:800] {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Trainings < 2 {
+		t.Fatalf("Trainings = %d, want a scheduled retraining", s.Trainings)
+	}
+	if st.lastPP == nil || st.lastPP == first {
+		t.Fatal("scheduled retraining did not refresh lastPP")
+	}
+	// The retrained PP fine-tuned the same approach (warm pinning).
+	if st.lastPP.Approach != first.Approach {
+		t.Fatalf("approach changed across warm retraining: %s → %s", first.Approach, st.lastPP.Approach)
+	}
+}
+
+func TestTripClearsWarmStart(t *testing.T) {
+	s := newWarmSystem(t)
+	stream := data.Traffic(data.TrafficConfig{Rows: 600, Seed: 4})
+	for _, b := range stream[:400] {
+		if err := s.Observe(b, data.TrafficLookup(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.clauses["s>60"]
+	if st.lastPP == nil {
+		t.Fatal("no trained PP to trip")
+	}
+	dec, err := s.Decide(query.MustParse("s>60"), 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Inject {
+		t.Fatal("trained system should inject")
+	}
+	// K consecutive breaches trip the clause.
+	for i := 0; i < s.cfg.Watchdog.K; i++ {
+		s.ReportAccuracy(dec, 0.10, 0.95)
+	}
+	if s.Trips != 1 {
+		t.Fatalf("Trips = %d, want 1", s.Trips)
+	}
+	if st.lastPP != nil {
+		t.Fatal("trip left lastPP set; retraining would warm-start from the breaching model")
+	}
+	if _, ok := s.corpus.Get("s>60"); ok {
+		t.Fatal("tripped PP still in corpus")
+	}
+}

@@ -8,6 +8,7 @@ package optimizer
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"probpred/internal/core"
@@ -28,16 +29,100 @@ type Corpus struct {
 	// concurrent sessions can check staleness without taking the optimizer's
 	// serialization lock.
 	version atomic.Uint64
+
+	// verMu guards clauseVer against concurrent readers: plan caches call
+	// UnchangedSince from sessions that do not hold the optimizer's
+	// serialization lock, while Add/Remove (which do hold it) write.
+	verMu sync.RWMutex
+	// clauseVer maps each dependency key ever mutated — a clause key, plus
+	// the "col:<column>" wildcard covering every clause on that column — to
+	// the corpus version of its latest mutation. It is what makes plan-cache
+	// invalidation partial: a plan records the keys its search consulted, and
+	// a later corpus mutation only strands plans whose keys actually moved.
+	clauseVer map[string]uint64
+
+	// recording, when non-nil, collects every dependency key consulted by
+	// Lookup/Get — hits and misses alike, since a miss that later becomes a
+	// hit changes the search outcome too. Only toggled and read under the
+	// optimizer's serialization lock (searches are not concurrent).
+	recording map[string]struct{}
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus() *Corpus {
-	return &Corpus{pps: map[string]*core.PP{}, negCache: map[string]*core.PP{}}
+	return &Corpus{pps: map[string]*core.PP{}, negCache: map[string]*core.PP{}, clauseVer: map[string]uint64{}}
 }
 
 // Version returns the corpus mutation counter. It increases on every Add and
 // successful Remove; equal versions guarantee an unchanged PP set.
 func (c *Corpus) Version() uint64 { return c.version.Load() }
+
+// ColumnDep returns the dependency key covering every clause on a column.
+// Searches consult it implicitly whenever they touch a clause on the column
+// (relaxed comparisons and domain rewrites generate same-column candidates
+// from the corpus's key set, not from individual lookups).
+func ColumnDep(col string) string { return "col:" + col }
+
+// bump records one mutation of a clause key: it stamps the key — and its
+// column wildcard, when the key parses as a simple clause — with the
+// post-mutation version, then advances the version counter. The stamp lands
+// strictly before the new version becomes visible, so a plan cache that
+// observes the bumped version is guaranteed to also observe the stamp when
+// it revalidates (the reverse order would let a dependent plan slip through
+// revalidation in the window between bump and stamp). Mutations are
+// serialized by the optimizer lock, so Load()+1 is the post-mutation value.
+func (c *Corpus) bump(clause string) {
+	v := c.version.Load() + 1
+	c.verMu.Lock()
+	c.clauseVer[clause] = v
+	if p, err := query.Parse(clause); err == nil {
+		if cl, ok := p.(*query.Clause); ok {
+			c.clauseVer[ColumnDep(cl.Col)] = v
+		}
+	}
+	c.verMu.Unlock()
+	c.version.Add(1)
+}
+
+// UnchangedSince reports whether none of the dependency keys has been
+// mutated after corpus version since. Plan caches use it to revalidate
+// entries from older corpus versions: a mutation that left every key a plan
+// consulted untouched cannot have changed the search outcome, so the plan is
+// still exactly what a fresh search would produce. Safe for concurrent use.
+func (c *Corpus) UnchangedSince(deps []string, since uint64) bool {
+	c.verMu.RLock()
+	defer c.verMu.RUnlock()
+	for _, d := range deps {
+		if c.clauseVer[d] > since {
+			return false
+		}
+	}
+	return true
+}
+
+// beginRecord starts collecting the dependency keys a plan search consults.
+// Caller must hold the optimizer's serialization lock.
+func (c *Corpus) beginRecord() {
+	c.recording = map[string]struct{}{}
+}
+
+// endRecord stops collecting and returns the consulted keys, sorted.
+func (c *Corpus) endRecord() []string {
+	deps := make([]string, 0, len(c.recording))
+	for k := range c.recording {
+		deps = append(deps, k)
+	}
+	c.recording = nil
+	sort.Strings(deps)
+	return deps
+}
+
+// record notes one consulted dependency key.
+func (c *Corpus) record(key string) {
+	if c.recording != nil {
+		c.recording[key] = struct{}{}
+	}
+}
 
 // Add registers a trained PP under its clause key, replacing any previous
 // PP for the same clause. A replacement also invalidates the negation-
@@ -48,7 +133,7 @@ func (c *Corpus) Add(pp *core.PP) {
 		c.negCache = map[string]*core.PP{}
 	}
 	c.pps[pp.Clause] = pp
-	c.version.Add(1)
+	c.bump(pp.Clause)
 }
 
 // Remove deletes the PP trained for the clause key, reporting whether one
@@ -62,7 +147,7 @@ func (c *Corpus) Remove(clause string) bool {
 	}
 	delete(c.pps, clause)
 	c.negCache = map[string]*core.PP{}
-	c.version.Add(1)
+	c.bump(clause)
 	return true
 }
 
@@ -81,6 +166,7 @@ func (c *Corpus) Clauses() []string {
 
 // Get returns the PP trained directly for the clause key, if any.
 func (c *Corpus) Get(clause string) (*core.PP, bool) {
+	c.record(clause)
 	pp, ok := c.pps[clause]
 	return pp, ok
 }
@@ -90,6 +176,8 @@ func (c *Corpus) Get(clause string) (*core.PP, bool) {
 // sign (§5.6). Derived PPs are cached.
 func (c *Corpus) Lookup(cl *query.Clause) (*core.PP, bool) {
 	key := cl.String()
+	c.record(key)
+	c.record(ColumnDep(cl.Col))
 	if pp, ok := c.pps[key]; ok {
 		return pp, true
 	}
@@ -97,6 +185,7 @@ func (c *Corpus) Lookup(cl *query.Clause) (*core.PP, bool) {
 		return pp, true
 	}
 	negKey := cl.Negate().String()
+	c.record(negKey)
 	base, ok := c.pps[negKey]
 	if !ok {
 		return nil, false

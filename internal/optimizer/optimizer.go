@@ -94,6 +94,10 @@ type Decision struct {
 	// leaves caches the chosen expression's clause keys for the A.5
 	// dependence feedback loop.
 	leaves []string
+	// consulted caches the dependency keys the plan search asked the corpus
+	// about (clause keys, negation bases and column wildcards — hits and
+	// misses alike). Plan caches use it for partial invalidation.
+	consulted []string
 }
 
 // SearchStats counts the work one Optimize call performed — the optimizer's
@@ -122,6 +126,16 @@ type SearchStats struct {
 // base clause (§5.6: the classifier is shared).
 func (d *Decision) LeafClauses() []string {
 	return append([]string(nil), d.leaves...)
+}
+
+// Consulted returns the dependency keys the plan search asked the corpus
+// about — every clause key it looked up (found or not, plus negation bases)
+// and a "col:<column>" wildcard per touched column, sorted. A later corpus
+// mutation that leaves all of them untouched cannot have changed this
+// decision, which is what lets plan caches revalidate instead of evicting
+// (Corpus.UnchangedSince).
+func (d *Decision) Consulted() []string {
+	return append([]string(nil), d.consulted...)
 }
 
 // Optimizer holds the corpus and the runtime-dependence state shared across
@@ -183,11 +197,17 @@ func (o *Optimizer) Optimize(pred query.Pred, opts Options) (*Decision, error) {
 		maxPPs:  opts.MaxPPs,
 		skip:    o.dependent,
 	}
+	// The generator's corpus consultations (and their misses) are the exact
+	// dependency set of the decision; callers are already serialized, so the
+	// recording needs no lock.
+	o.corpus.beginRecord()
 	candidates := g.gen(pred)
+	consulted := o.corpus.endRecord()
 	dec := &Decision{
 		BaselineCost:  opts.UDFCost,
 		NumCandidates: len(candidates),
 		PlanCost:      opts.UDFCost,
+		consulted:     consulted,
 	}
 	memoCount := &memoCounters{}
 	copts := costOpts{

@@ -32,6 +32,15 @@ type LegInfo struct {
 	Policy  string `json:"policy,omitempty"`
 }
 
+// SegInfo identifies the stream segment a standing-query session covered
+// (nil on non-streaming records).
+type SegInfo struct {
+	// Index is the segment's 0-based arrival order; Version the segmented
+	// corpus version after it landed.
+	Index   int    `json:"index"`
+	Version uint64 `json:"version"`
+}
+
 // Record is one query-log entry. Coordinator sessions and unsharded sessions
 // write one record each (Leg nil); every shard leg additionally writes its
 // own record with Leg set — all sharing the session's TraceID.
@@ -67,6 +76,8 @@ type Record struct {
 	ObsReduction float64 `json:"obs_reduction,omitempty"`
 	// AdaptSwaps counts mid-query plan swaps taken by the adapt controller.
 	AdaptSwaps int `json:"adapt_swaps,omitempty"`
+	// Seg tags standing-query records with the stream segment they covered.
+	Seg *SegInfo `json:"seg,omitempty"`
 	// Leg is set on per-shard leg records; Legs on coordinator records.
 	Leg  *LegInfo `json:"leg,omitempty"`
 	Legs []Leg    `json:"legs,omitempty"`

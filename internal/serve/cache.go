@@ -25,9 +25,15 @@ import (
 // planEntry is one cached optimization outcome.
 type planEntry struct {
 	key string
-	// version is the corpus version the plan search ran under.
+	// version is the corpus version the plan search ran under, refreshed in
+	// place (under the cache mutex) when a revalidation proves the entry
+	// survived a corpus mutation untouched.
 	version uint64
-	dec     *optimizer.Decision
+	// deps is the dependency-key set the plan search consulted
+	// (Decision.Consulted): what the cache checks against the corpus's
+	// per-clause mutation versions before evicting.
+	deps []string
+	dec  *optimizer.Decision
 	// filter is the score-cache-attached compiled filter shared by every
 	// session that hits this entry (nil when dec.Inject is false). Sharing
 	// one object is deliberate: it is what makes cross-session score reuse
@@ -37,27 +43,42 @@ type planEntry struct {
 
 // planCache is a bounded LRU over plan entries. Lookup counters live on the
 // server (which knows about double-checked lookups); the cache itself only
-// counts stale-entry invalidations, which happen inside get.
+// counts stale-entry invalidations and revalidations, which happen inside
+// get.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used; values are *planEntry
 	items map[string]*list.Element
+	// corpus answers UnchangedSince for entries from older corpus versions:
+	// a mutation (online retraining, watchdog trip) that left every key a
+	// plan consulted untouched revalidates the entry instead of evicting it,
+	// so segment-by-segment training of one clause does not strand every
+	// other query's plan. Nil falls back to evict-on-any-version-change.
+	corpus *optimizer.Corpus
 
 	invalidations atomic.Uint64
+	// revalidations counts stale-version entries kept because none of their
+	// consulted clauses changed.
+	revalidations atomic.Uint64
 	// demotions / promotions count adapt-driven cache maintenance: stale
 	// entries dropped mid-query and re-ordered filters installed in their
 	// place.
 	demotions, promotions atomic.Uint64
 }
 
-func newPlanCache(capacity int) *planCache {
-	return &planCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+func newPlanCache(capacity int, corpus *optimizer.Corpus) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}, corpus: corpus}
 }
 
-// get returns the entry under key if present AND searched under the current
-// corpus version. A stale entry is removed and counted as an invalidation;
-// the caller sees a plain miss and will re-plan against the new corpus.
+// get returns the entry under key if present AND still valid at the current
+// corpus version. An entry searched under an older version is revalidated
+// against the corpus's per-clause mutation versions: if none of the keys the
+// plan consulted changed, the search outcome could not have either, so the
+// entry's version is refreshed and it keeps serving (counted as a
+// revalidation). Otherwise it is removed and counted as an invalidation —
+// exactly once, since the removal is under the cache mutex — and the caller
+// sees a plain miss and re-plans against the new corpus.
 func (c *planCache) get(key string, version uint64) (*planEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,10 +88,14 @@ func (c *planCache) get(key string, version uint64) (*planEntry, bool) {
 	}
 	e := el.Value.(*planEntry)
 	if e.version != version {
-		c.ll.Remove(el)
-		delete(c.items, key)
-		c.invalidations.Add(1)
-		return nil, false
+		if c.corpus == nil || !c.corpus.UnchangedSince(e.deps, e.version) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.invalidations.Add(1)
+			return nil, false
+		}
+		e.version = version
+		c.revalidations.Add(1)
 	}
 	c.ll.MoveToFront(el)
 	return e, true
@@ -118,7 +143,7 @@ func (c *planCache) demote(key string) bool {
 func (c *planCache) promote(donor *planEntry, filter *optimizer.Compiled) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fresh := &planEntry{key: donor.key, version: donor.version, dec: donor.dec, filter: filter}
+	fresh := &planEntry{key: donor.key, version: donor.version, deps: donor.deps, dec: donor.dec, filter: filter}
 	if el, ok := c.items[donor.key]; ok {
 		el.Value = fresh
 		c.ll.MoveToFront(el)

@@ -14,7 +14,7 @@ func entryFor(key string, version uint64) *planEntry {
 }
 
 func TestPlanCacheLRUEviction(t *testing.T) {
-	c := newPlanCache(2)
+	c := newPlanCache(2, nil)
 	c.put(entryFor("a", 0))
 	c.put(entryFor("b", 0))
 	if _, ok := c.get("a", 0); !ok { // touch a: b becomes LRU
@@ -36,7 +36,7 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 }
 
 func TestPlanCacheStaleVersion(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, nil)
 	c.put(entryFor("a", 1))
 	if _, ok := c.get("a", 2); ok {
 		t.Fatal("stale entry served")
@@ -50,7 +50,7 @@ func TestPlanCacheStaleVersion(t *testing.T) {
 }
 
 func TestPlanCacheReplaceSameKey(t *testing.T) {
-	c := newPlanCache(2)
+	c := newPlanCache(2, nil)
 	c.put(entryFor("a", 1))
 	c.put(entryFor("a", 2))
 	if c.len() != 1 {

@@ -87,8 +87,15 @@ type Config struct {
 	// state is not safe for concurrent use); cached plans are served without
 	// touching it.
 	Optimizer *optimizer.Optimizer
-	// Builder assembles executable plans. Required.
+	// Builder assembles executable plans. Required unless Corpus is set.
 	Builder QueryBuilder
+	// Corpus optionally provides per-request plan assembly for streaming
+	// ingestion: a Request carrying an explicit Blobs slice is built with
+	// Corpus.BuildOver over exactly that slice (a segment delta), sharing the
+	// server's plan and score caches with every other request. When Builder
+	// is nil, Corpus also serves Builder's role bound to an empty corpus, so
+	// blob-less requests plan normally but scan nothing.
+	Corpus CorpusBuilder
 	// Accuracy is the default query-wide accuracy target for requests that
 	// do not set their own. The accepted range is [0,1]: zero is explicitly
 	// the "unset" value and selects 1 (no false negatives); anything
@@ -159,7 +166,10 @@ func (c *Config) fill() error {
 		return fmt.Errorf("serve: Config.Optimizer is required")
 	}
 	if c.Builder == nil {
-		return fmt.Errorf("serve: Config.Builder is required")
+		if c.Corpus == nil {
+			return fmt.Errorf("serve: Config.Builder is required")
+		}
+		c.Builder = BindCorpus(c.Corpus, nil)
 	}
 	if c.Accuracy < 0 || c.Accuracy > 1 {
 		return fmt.Errorf("serve: accuracy target %v outside [0,1] (zero selects 1: no false negatives)", c.Accuracy)
@@ -208,6 +218,15 @@ type Request struct {
 	// Values outside [0,1] are rejected (zero means "use the server
 	// default").
 	Accuracy float64
+	// Blobs, when non-nil, overrides the session's scan: the plan is built
+	// with Config.Corpus.BuildOver over exactly this slice instead of the
+	// bound Builder corpus. Streaming ingestion uses it to run a standing
+	// query over one appended segment while sharing the plan and score
+	// caches across segments. Requires Config.Corpus.
+	Blobs []blob.Blob
+	// Segment, when non-nil, tags the session's query-log record with the
+	// stream segment the request covers. Informational only.
+	Segment *pplog.SegInfo
 	// Trace is the session trace ID to serve under. Empty (the normal case)
 	// makes the server mint one; a sharded Coordinator sets it so every leg
 	// of one scatter-gather session shares the coordinator's TraceID.
@@ -261,9 +280,14 @@ type Stats struct {
 	// PlanHits / PlanMisses count plan-cache outcomes per session; hits
 	// skipped the optimizer search entirely.
 	PlanHits, PlanMisses uint64
-	// PlanInvalidations counts cached plans dropped as stale (corpus
-	// changed) or flushed manually.
+	// PlanInvalidations counts cached plans dropped as stale (a corpus
+	// change touched a clause the plan consulted) or flushed manually.
 	PlanInvalidations uint64
+	// PlanRevalidations counts cached plans from older corpus versions kept
+	// because the mutation left every clause they consulted untouched
+	// (partial invalidation: only plans whose PP set actually changed
+	// re-search).
+	PlanRevalidations uint64
 	// PlanEntries is the current plan-cache population.
 	PlanEntries int
 	// ScoreHits / ScoreMisses count score-cache lookups across all sessions.
@@ -315,7 +339,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:    cfg,
-		plans:  newPlanCache(cfg.PlanCacheSize),
+		plans:  newPlanCache(cfg.PlanCacheSize, cfg.Optimizer.Corpus()),
 		scores: newScoreCache(cfg.ScoreCacheSize, cfg.ScoreCacheShards, cfg.DisableScoreCache),
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		optMu:  &sync.Mutex{},
@@ -427,6 +451,7 @@ func (s *Server) logSession(req Request, resp *Response, trace string, wait, ser
 	if req.leg != nil {
 		rec.Leg = &pplog.LegInfo{Shard: req.leg.shard, Replica: req.leg.replica, Policy: req.leg.policy}
 	}
+	rec.Seg = req.Segment
 	if err != nil {
 		rec.Error = err.Error()
 	}
@@ -482,7 +507,15 @@ func (s *Server) serve(req Request, span *obs.Span, ctx obs.TraceContext) (*Resp
 	if entry.dec.Inject {
 		filter = entry.filter
 	}
-	plan, err := s.cfg.Builder.Build(req.Pred, filter)
+	var plan engine.Plan
+	if req.Blobs != nil {
+		if s.cfg.Corpus == nil {
+			return nil, fmt.Errorf("serve: request %q carries explicit blobs but Config.Corpus is not set", req.ID)
+		}
+		plan, err = s.cfg.Corpus.BuildOver(req.Blobs, req.Pred, filter)
+	} else {
+		plan, err = s.cfg.Builder.Build(req.Pred, filter)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: build plan for %q: %w", req.Pred.String(), err)
 	}
@@ -583,7 +616,7 @@ func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string, ctx 
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: optimize %q: %w", pred.String(), err)
 	}
-	e := &planEntry{key: key, version: version, dec: dec}
+	e := &planEntry{key: key, version: version, deps: dec.Consulted(), dec: dec}
 	if dec.Inject {
 		// One score-cache-attached filter per entry, shared by every session
 		// that hits it — sharing is what makes cross-session score reuse
@@ -602,6 +635,18 @@ func (s *Server) resolvePlan(pred query.Pred, accuracy float64, key string, ctx 
 // override for out-of-band invalidation.
 func (s *Server) Invalidate() { s.plans.flush() }
 
+// SyncCorpus runs fn under the server's optimizer lock, serializing corpus
+// mutations with plan searches. Streaming ingestion routes online training
+// and watchdog reports (which Add/Remove corpus PPs and read shared
+// optimizer state) through it so they never race an in-flight plan search;
+// cached-plan sessions are unaffected — they bypass the lock and see the
+// mutation through the corpus version.
+func (s *Server) SyncCorpus(fn func()) {
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	fn()
+}
+
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	return Stats{
@@ -609,6 +654,7 @@ func (s *Server) Stats() Stats {
 		PlanHits:          s.planHits.Load(),
 		PlanMisses:        s.planMisses.Load(),
 		PlanInvalidations: s.plans.invalidations.Load(),
+		PlanRevalidations: s.plans.revalidations.Load(),
 		PlanEntries:       s.plans.len(),
 		ScoreHits:         s.scores.hits.Load(),
 		ScoreMisses:       s.scores.misses.Load(),
@@ -637,6 +683,7 @@ func (s *Server) emitSessionMetrics(resp *Response, err error) {
 	}
 	reg.Gauge("serve_plan_cache_entries", "Plans currently cached.").Set(float64(s.plans.len()))
 	reg.Gauge("serve_plan_cache_invalidations", "Cached plans dropped as stale or flushed.").Set(float64(s.plans.invalidations.Load()))
+	reg.Gauge("serve_plan_cache_revalidations", "Stale-version cached plans kept because no consulted clause changed.").Set(float64(s.plans.revalidations.Load()))
 	reg.Gauge("serve_plan_cache_demotions", "Cached plans demoted by mid-query adaptation.").Set(float64(s.plans.demotions.Load()))
 	reg.Gauge("serve_plan_cache_promotions", "Re-ordered plans promoted into the cache by mid-query adaptation.").Set(float64(s.plans.promotions.Load()))
 	reg.Gauge("serve_score_cache_entries", "PP scores currently cached.").Set(float64(s.scores.Len()))

@@ -1,0 +1,60 @@
+package stream
+
+// Property test: for ANY segmentation of a fixed corpus — random cut points,
+// including empty segments — a standing query's cumulative live results equal
+// the one-shot batch query, and the batch result itself is independent of how
+// the corpus arrived. Seeded, deterministic trials.
+
+import (
+	"fmt"
+	"testing"
+
+	"probpred/internal/mathx"
+)
+
+func TestRandomSegmentationProperty(t *testing.T) {
+	const trials = 20
+	all := miniBlobs(240, 13)
+	rng := mathx.NewRNG(99)
+	reference := map[string]string{} // query → trial-0 batch rendering
+	for trial := 0; trial < trials; trial++ {
+		// Random cuts: each boundary independently, plus an occasional
+		// duplicate (an empty segment).
+		var cuts []int
+		for i := 1; i < len(all); i++ {
+			if rng.Float64() < 0.03 {
+				cuts = append(cuts, i)
+				if rng.Float64() < 0.2 {
+					cuts = append(cuts, i)
+				}
+			}
+		}
+		t.Run(fmt.Sprintf("trial=%d/segments=%d", trial, len(cuts)+1), func(t *testing.T) {
+			st := newMiniStack(t, 1, nil, nil)
+			st.register(t, miniStandingQueries...)
+			var deltas [][]Delta
+			for _, seg := range splitSegments(all, cuts) {
+				ds, err := st.ing.Ingest(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				deltas = append(deltas, ds)
+			}
+			for _, q := range miniStandingQueries {
+				batch, err := st.ing.BatchQuery(q.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := renderRows(batch)
+				if got := renderLive(deltas, q.ID); got != want {
+					t.Errorf("%s cumulative != batch over cuts %v\n got: %s\nwant: %s", q.ID, cuts, got, want)
+				}
+				if ref, ok := reference[q.ID]; !ok {
+					reference[q.ID] = want
+				} else if want != ref {
+					t.Errorf("%s batch result depends on segmentation (cuts %v)", q.ID, cuts)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,250 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probpred/internal/blob"
+	"probpred/internal/metrics"
+	"probpred/internal/online"
+	"probpred/internal/pplog"
+	"probpred/internal/query"
+	"probpred/internal/serve"
+)
+
+func TestSegmentedCorpusAppend(t *testing.T) {
+	c := NewSegmentedCorpus()
+	if v := c.Version(); v != 0 {
+		t.Fatalf("fresh corpus version = %d, want 0", v)
+	}
+	all := miniBlobs(30, 1)
+	s1 := c.Append(all[:10])
+	s2 := c.Append(all[10:12])
+	s3 := c.Append(nil) // heartbeat: empty but still a version
+	s4 := c.Append(all[12:])
+	want := []Segment{
+		{Index: 0, Version: 1, Start: 0, End: 10},
+		{Index: 1, Version: 2, Start: 10, End: 12},
+		{Index: 2, Version: 3, Start: 12, End: 12},
+		{Index: 3, Version: 4, Start: 12, End: 30},
+	}
+	for i, got := range []Segment{s1, s2, s3, s4} {
+		if got != want[i] {
+			t.Errorf("segment %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	if v := c.Version(); v != 4 {
+		t.Errorf("version = %d, want 4", v)
+	}
+	if n := c.Len(); n != 30 {
+		t.Errorf("len = %d, want 30", n)
+	}
+	segs := c.Segments()
+	if len(segs) != 4 || segs[1] != want[1] {
+		t.Errorf("Segments() = %+v", segs)
+	}
+	if got := c.Blobs(s2); len(got) != 2 || got[0].ID != all[10].ID || got[1].ID != all[11].ID {
+		t.Errorf("Blobs(s2) covers wrong range")
+	}
+	if got := c.Blobs(s3); len(got) != 0 {
+		t.Errorf("Blobs(heartbeat) = %d blobs, want 0", len(got))
+	}
+}
+
+func TestSnapshotStableUnderAppend(t *testing.T) {
+	c := NewSegmentedCorpus()
+	all := miniBlobs(20, 2)
+	c.Append(all[:5])
+	snap, v := c.Snapshot()
+	if v != 1 || len(snap) != 5 {
+		t.Fatalf("snapshot = %d blobs at v%d, want 5 at v1", len(snap), v)
+	}
+	c.Append(all[5:])
+	if len(snap) != 5 {
+		t.Fatalf("snapshot grew to %d blobs after a later append", len(snap))
+	}
+	for i := range snap {
+		if snap[i].ID != all[i].ID {
+			t.Fatalf("snapshot blob %d mutated after append", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	st := newMiniStack(t, 1, nil, nil)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no server", Config{Corpus: st.corpus}, "Server is required"},
+		{"no corpus", Config{Server: st.srv}, "Corpus is required"},
+		{"online without lookup", Config{Server: st.srv, Corpus: st.corpus, Online: &online.System{}}, "Lookup is required"},
+		{"negative sample", Config{Server: st.srv, Corpus: st.corpus, TrainSample: -1}, "negative"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	st := newMiniStack(t, 1, nil, nil)
+	if err := st.ing.Register(Query{Pred: "t=SUV"}); err == nil {
+		t.Error("missing ID accepted")
+	}
+	if err := st.ing.Register(Query{ID: "q", Pred: "t=SUV", Accuracy: 1.5}); err == nil {
+		t.Error("accuracy 1.5 accepted")
+	}
+	if err := st.ing.Register(Query{ID: "q", Pred: "t ~~ SUV"}); err == nil {
+		t.Error("unparsable predicate accepted")
+	}
+	if err := st.ing.Register(Query{ID: "q", Pred: "t=SUV"}); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	if err := st.ing.Register(Query{ID: "q", Pred: "c=red"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := st.ing.BatchQuery("nope"); err == nil {
+		t.Error("BatchQuery on unknown ID succeeded")
+	}
+}
+
+func TestIngestDeltas(t *testing.T) {
+	st := newMiniStack(t, 1, nil, nil)
+	st.register(t, miniStandingQueries...)
+	all := miniBlobs(300, 3)
+	var deltas [][]Delta
+	for _, seg := range splitSegments(all, []int{120, 200}) {
+		ds, err := st.ing.Ingest(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) != len(miniStandingQueries) {
+			t.Fatalf("segment emitted %d deltas, want %d", len(ds), len(miniStandingQueries))
+		}
+		for i, d := range ds {
+			if d.Query != miniStandingQueries[i].ID {
+				t.Errorf("delta %d is %q, want registration order %q", i, d.Query, miniStandingQueries[i].ID)
+			}
+		}
+		deltas = append(deltas, ds)
+	}
+
+	// σ makes every emitted row a true match; exact-PP queries must also be
+	// complete per segment, and all rows arrive in ascending blob-ID order.
+	for _, segDeltas := range deltas {
+		for _, d := range segDeltas {
+			segBlobs := st.corpus.Blobs(d.Segment)
+			truth := map[int]bool{}
+			p := mustPred(t, d.Query)
+			for _, b := range segBlobs {
+				if ok, _ := p.Eval(miniLookup(b)); ok {
+					truth[b.ID] = true
+				}
+			}
+			last := -1
+			for _, row := range d.Resp.Result.Rows {
+				if !truth[row.Blob.ID] {
+					t.Errorf("%s seg%d emitted non-matching blob %d", d.Query, d.Segment.Index, row.Blob.ID)
+				}
+				if row.Blob.ID <= last {
+					t.Errorf("%s seg%d rows out of blob-ID order (%d after %d)", d.Query, d.Segment.Index, row.Blob.ID, last)
+				}
+				last = row.Blob.ID
+			}
+			if (d.Query == "SQ1" || d.Query == "SQ2" || d.Query == "SQ5") && len(d.Resp.Result.Rows) != len(truth) {
+				t.Errorf("%s seg%d retained %d/%d rows under exact PPs", d.Query, d.Segment.Index, len(d.Resp.Result.Rows), len(truth))
+			}
+		}
+	}
+
+	segs, emitted := st.ing.Stats()
+	if segs != 3 || emitted != uint64(3*len(miniStandingQueries)) {
+		t.Errorf("Stats() = %d segments, %d deltas; want 3, %d", segs, emitted, 3*len(miniStandingQueries))
+	}
+}
+
+func mustPred(t *testing.T, id string) query.Pred {
+	t.Helper()
+	for _, q := range miniStandingQueries {
+		if q.ID == id {
+			return query.MustParse(q.Pred)
+		}
+	}
+	t.Fatalf("no standing query %q", id)
+	return nil
+}
+
+func TestIngestMetrics(t *testing.T) {
+	reg := metrics.New()
+	st := newMiniStack(t, 1, nil, func(c *Config) { c.Metrics = reg })
+	st.register(t, Query{ID: "SQ1", Pred: "t=SUV"})
+	all := miniBlobs(100, 4)
+	for _, seg := range splitSegments(all, []int{40}) {
+		if _, err := st.ing.Ingest(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := reg.Counter("stream_segments_total", "").Value(); v != 2 {
+		t.Errorf("stream_segments_total = %v, want 2", v)
+	}
+	if v := reg.Counter("stream_blobs_total", "").Value(); v != 100 {
+		t.Errorf("stream_blobs_total = %v, want 100", v)
+	}
+	if v := reg.Gauge("stream_corpus_version", "").Value(); v != 2 {
+		t.Errorf("stream_corpus_version = %v, want 2", v)
+	}
+	if n := reg.Histogram("stream_lag_ns", "").Count(); n != 2 {
+		t.Errorf("stream_lag_ns count = %d, want 2", n)
+	}
+	if v := reg.Counter("stream_delta_rows_total", "", metrics.L("query", "SQ1")).Value(); v <= 0 {
+		t.Errorf("stream_delta_rows_total{query=SQ1} = %v, want > 0", v)
+	}
+}
+
+func TestSegmentTagsQueryLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	qlog := pplog.NewWriter(&logBuf, 8, nil)
+	st := newMiniStack(t, 1, func(c *serve.Config) { c.QueryLog = qlog }, nil)
+	st.register(t, Query{ID: "SQ1", Pred: "t=SUV"})
+	if _, err := st.ing.Ingest(miniBlobs(50, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := st.ing.BatchQuery("SQ1"); err != nil || resp == nil {
+		t.Fatal(err)
+	}
+	if err := qlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pplog.Read(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("query log has %d records, want 2", len(recs))
+	}
+	seg := recs[0].Seg
+	if seg == nil || seg.Index != 0 || seg.Version != 1 {
+		t.Fatalf("segment record tag = %+v, want index 0 version 1", seg)
+	}
+	if recs[1].Seg != nil {
+		t.Fatalf("batch record should carry no segment tag, got %+v", recs[1].Seg)
+	}
+}
+
+func TestIngestCopiesCallerSlice(t *testing.T) {
+	st := newMiniStack(t, 1, nil, nil)
+	st.register(t, Query{ID: "SQ1", Pred: "t=SUV"})
+	blobs := miniBlobs(10, 6)
+	if _, err := st.ing.Ingest(blobs); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := st.corpus.Snapshot()
+	blobs[0] = blob.Blob{} // caller reuses its slice
+	if stored[0].ID != 0 || stored[0].Dense == nil {
+		t.Fatal("corpus aliases the caller's slice")
+	}
+}

@@ -22,6 +22,12 @@ type Config struct {
 	ClassWeightPos float64
 	// Seed seeds the example-sampling stream.
 	Seed uint64
+	// Warm, when non-nil and dimensioned like the training data, initializes
+	// the Pegasos iterate from a previously trained model instead of zero —
+	// incremental training over a stream fine-tunes the prior segment's
+	// model rather than relearning from scratch. A dimension mismatch falls
+	// back to a cold start.
+	Warm *Model
 }
 
 func (c *Config) fill() {
@@ -79,6 +85,18 @@ func Train(xs []mathx.Vec, ys []bool, cfg Config) (*Model, error) {
 	rng := mathx.NewRNG(cfg.Seed)
 	n := len(xs)
 	totalSteps := cfg.Epochs * n
+	t := 1
+	if cfg.Warm != nil && len(cfg.Warm.W) == d {
+		copy(w, cfg.Warm.W)
+		w[d] = cfg.Warm.B
+		// A warm start must also warm the step-size schedule: at t=1 the
+		// shrink factor 1−eta·lambda is exactly zero and would erase the
+		// carried-over weights, and any t below 1/lambda takes steps far
+		// larger than the model being carried. Starting the clock at 1/lambda
+		// caps eta at 1 from the first step, so training fine-tunes the prior
+		// model on the fresh window instead of discarding it.
+		t = int(1/cfg.Lambda) + 2
+	}
 	// Averaged Pegasos: the returned model is the average of the iterates
 	// over the second half of training, which slashes the variance of the
 	// plain SGD solution — important for the small training windows an
@@ -86,7 +104,7 @@ func Train(xs []mathx.Vec, ys []bool, cfg Config) (*Model, error) {
 	avg := make(mathx.Vec, d+1)
 	avgFrom := totalSteps / 2
 	avgCount := 0
-	t := 1
+	steps := 1
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for step := 0; step < n; step++ {
 			i := rng.Intn(n)
@@ -104,11 +122,12 @@ func Train(xs []mathx.Vec, ys []bool, cfg Config) (*Model, error) {
 			if margin < 1 {
 				mathx.Axpy(eta*y*weight, x, w)
 			}
-			if t > avgFrom {
+			if steps > avgFrom {
 				mathx.Axpy(1, w, avg)
 				avgCount++
 			}
 			t++
+			steps++
 		}
 	}
 	if avgCount > 0 {

@@ -1,0 +1,102 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"probpred/internal/mathx"
+)
+
+// linSep generates a linearly separable 2-D set labeled by x0 > 0.5.
+func linSep(n int, seed uint64) ([]mathx.Vec, []bool) {
+	rng := mathx.NewRNG(seed)
+	xs := make([]mathx.Vec, n)
+	ys := make([]bool, n)
+	for i := range xs {
+		x := mathx.Vec{rng.Float64(), rng.Float64()}
+		xs[i] = x
+		ys[i] = x[0] > 0.5
+	}
+	return xs, ys
+}
+
+func accuracyOf(m *Model, xs []mathx.Vec, ys []bool) float64 {
+	ok := 0
+	for i, x := range xs {
+		if (m.Score(x) > 0) == ys[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(xs))
+}
+
+func TestWarmStartFineTunes(t *testing.T) {
+	xs, ys := linSep(300, 1)
+	prior, err := Train(xs, ys, Config{Epochs: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(prior, xs, ys); acc < 0.9 {
+		t.Fatalf("prior model accuracy %v, want >= 0.9", acc)
+	}
+	// One epoch on a tiny fresh window: a cold start has barely begun to
+	// learn, the warm start fine-tunes an already-good separator.
+	fresh, fys := linSep(40, 3)
+	cold, err := Train(fresh, fys, Config{Epochs: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Train(fresh, fys, Config{Epochs: 1, Seed: 4, Warm: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, hys := linSep(500, 5)
+	ca, wa := accuracyOf(cold, holdout, hys), accuracyOf(warm, holdout, hys)
+	if wa < ca {
+		t.Errorf("warm accuracy %v < cold accuracy %v on one epoch of 40 labels", wa, ca)
+	}
+	if wa < 0.9 {
+		t.Errorf("warm accuracy %v, want >= 0.9 (prior carried over)", wa)
+	}
+}
+
+func TestWarmStartDimensionMismatchFallsBackCold(t *testing.T) {
+	xs, ys := linSep(100, 6)
+	cold, err := Train(xs, ys, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Train(xs, ys, Config{Seed: 7, Warm: &Model{W: mathx.Vec{1, 2, 3, 4}, B: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.W {
+		if cold.W[i] != warm.W[i] {
+			t.Fatalf("mismatched warm model changed training (w[%d] %v != %v)", i, warm.W[i], cold.W[i])
+		}
+	}
+	if cold.B != warm.B {
+		t.Fatalf("mismatched warm model changed bias (%v != %v)", warm.B, cold.B)
+	}
+}
+
+func TestWarmStartColdPathUnchanged(t *testing.T) {
+	// Warm: nil must be bit-identical to the pre-warm-start trainer.
+	xs, ys := linSep(200, 8)
+	a, err := Train(xs, ys, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(xs, ys, Config{Seed: 9, Warm: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatalf("w[%d] differs", i)
+		}
+	}
+	if a.B != b.B || math.IsNaN(a.B) {
+		t.Fatal("bias differs or is NaN")
+	}
+}

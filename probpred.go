@@ -59,6 +59,7 @@ import (
 	"probpred/internal/optimizer"
 	"probpred/internal/query"
 	"probpred/internal/serve"
+	"probpred/internal/stream"
 	"probpred/internal/udf"
 )
 
@@ -441,3 +442,32 @@ func InferClauses(preds []Pred, domains map[string][]Value) map[string]int {
 func SelectTrainingSet(candidates []TrainingCandidate, budget float64) (*TrainingPlan, error) {
 	return optimizer.SelectTrainingSet(candidates, budget)
 }
+
+// Streaming ingestion: an append-only, segment-versioned corpus plus
+// standing queries that PP-filter each segment as it lands, with optional
+// per-segment incremental (warm-started) PP retraining through the online
+// watchdog. Concatenated deltas are byte-identical to a batch query over
+// the same corpus and PP state (see DESIGN.md, "Streaming ingestion").
+type (
+	// SegmentedCorpus is the append-only blob log segments land in.
+	SegmentedCorpus = stream.SegmentedCorpus
+	// StreamSegment records one landed segment's index, version and range.
+	StreamSegment = stream.Segment
+	// StreamIngestor runs standing queries over a segmented corpus.
+	StreamIngestor = stream.Ingestor
+	// StreamConfig wires a Server (Corpus builder required), the segmented
+	// corpus, and optionally an online system + ground-truth lookup.
+	StreamConfig = stream.Config
+	// StandingQuery declares one continuously evaluated predicate.
+	StandingQuery = stream.Query
+	// StreamDelta is one standing query's incremental result over one
+	// segment, rows in blob-ID order.
+	StreamDelta = stream.Delta
+)
+
+// NewSegmentedCorpus returns an empty append-only segmented corpus.
+func NewSegmentedCorpus() *SegmentedCorpus { return stream.NewSegmentedCorpus() }
+
+// NewStreamIngestor validates the config and returns an ingestor with no
+// standing queries.
+func NewStreamIngestor(cfg StreamConfig) (*StreamIngestor, error) { return stream.New(cfg) }
